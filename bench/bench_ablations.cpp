@@ -1,0 +1,199 @@
+// E11 (ablations): the design choices DESIGN.md calls out, isolated.
+//
+//  A. RSC emulation strength: versioned (128-bit, ABA-detecting) vs weak
+//     (64-bit, value-only). The paper's algorithms are correct on both;
+//     the versioned flavour is what faithful hardware semantics cost.
+//  B. Word provider for Figures 6/7: native CAS vs Figure-3-emulated
+//     RLL/RSC — the price of running the multi-word/bounded constructions
+//     on an LL/SC-only machine.
+//  C. Figure 6 tag split: wider tags shrink chunks, so the same payload
+//     needs more segments — a time/space/robustness triangle.
+//  D. Substrate tax on a real consumer: one Treiber stack, five
+//     substrates (incl. the two-tag composition).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bench/common.hpp"
+#include "core/bounded_llsc.hpp"
+#include "core/llsc_traits.hpp"
+#include "core/value_codec.hpp"
+#include "core/wide_llsc.hpp"
+#include "nonblocking/treiber_stack.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+// --- A: RSC strength --------------------------------------------------
+void BM_AblationRscVersioned(benchmark::State& state) {
+  moir::RllWord word(0);
+  moir::Processor proc;
+  for (auto _ : state) {
+    const std::uint64_t v = proc.rll(word);
+    benchmark::DoNotOptimize(proc.rsc(word, v + 1));
+  }
+}
+BENCHMARK(BM_AblationRscVersioned);
+
+void BM_AblationRscWeak(benchmark::State& state) {
+  moir::RllWord word(0);
+  moir::Processor proc;
+  for (auto _ : state) {
+    const std::uint64_t v = proc.rll(word);
+    benchmark::DoNotOptimize(proc.rsc_weak(word, v + 1));
+  }
+}
+BENCHMARK(BM_AblationRscWeak);
+
+// --- B: provider for Figure 6 ------------------------------------------
+template <typename Provider>
+void wide_provider_bench(benchmark::State& state, Provider provider) {
+  using W = moir::WideLlsc<32, Provider>;
+  W dom(2, 8, std::move(provider));
+  typename W::Var var;
+  std::vector<std::uint64_t> buf(8, 1);
+  dom.init_var(var, buf);
+  auto ctx = dom.make_ctx();
+  for (auto _ : state) {
+    typename W::Keep keep;
+    if (dom.wll(ctx, var, keep, buf).success) {
+      buf[0] = (buf[0] + 1) & W::kMaxChunk;
+      benchmark::DoNotOptimize(dom.sc(ctx, var, keep, buf));
+    }
+  }
+}
+
+void BM_AblationWideNativeCas(benchmark::State& state) {
+  wide_provider_bench(state, moir::NativeWordProvider{});
+}
+BENCHMARK(BM_AblationWideNativeCas);
+
+void BM_AblationWideRllRsc(benchmark::State& state) {
+  wide_provider_bench(state, moir::RllRscWordProvider{});
+}
+BENCHMARK(BM_AblationWideRllRsc);
+
+// --- B': provider for Figure 7 -----------------------------------------
+void BM_AblationBoundedNativeCas(benchmark::State& state) {
+  moir::BoundedLlsc<> dom(4, 2);
+  moir::BoundedLlsc<>::Var var;
+  dom.init_var(var, 0);
+  auto ctx = dom.make_ctx();
+  for (auto _ : state) {
+    moir::BoundedLlsc<>::Keep keep;
+    const auto v = dom.ll(ctx, var, keep);
+    benchmark::DoNotOptimize(dom.sc(ctx, var, keep, (v + 1) & 0xffff));
+  }
+}
+BENCHMARK(BM_AblationBoundedNativeCas);
+
+void BM_AblationBoundedRllRsc(benchmark::State& state) {
+  using B = moir::BoundedLlsc<16, 10, 18, 20, moir::RllRscWordProvider>;
+  B dom(4, 2, moir::RllRscWordProvider{});
+  B::Var var;
+  dom.init_var(var, 0);
+  auto ctx = dom.make_ctx();
+  for (auto _ : state) {
+    B::Keep keep;
+    const auto v = dom.ll(ctx, var, keep);
+    benchmark::DoNotOptimize(dom.sc(ctx, var, keep, (v + 1) & 0xffff));
+  }
+}
+BENCHMARK(BM_AblationBoundedRllRsc);
+
+// --- C: Figure 6 tag split for a fixed 32-byte payload -------------------
+template <unsigned TagBits>
+void wide_tag_split_bench(benchmark::State& state) {
+  using W = moir::WideLlsc<TagBits>;
+  const unsigned width =
+      static_cast<unsigned>(moir::chunks_needed(32, W::kChunkBits));
+  W dom(2, width);
+  typename W::Var var;
+  std::vector<std::uint64_t> buf(width, 1);
+  dom.init_var(var, buf);
+  auto ctx = dom.make_ctx();
+  for (auto _ : state) {
+    typename W::Keep keep;
+    if (dom.wll(ctx, var, keep, buf).success) {
+      buf[0] = (buf[0] + 1) & W::kMaxChunk;
+      benchmark::DoNotOptimize(dom.sc(ctx, var, keep, buf));
+    }
+  }
+  state.counters["segments"] = width;
+}
+
+void BM_AblationWideTag16(benchmark::State& state) {
+  wide_tag_split_bench<16>(state);  // 48-bit chunks: 6 segments
+}
+BENCHMARK(BM_AblationWideTag16);
+
+void BM_AblationWideTag32(benchmark::State& state) {
+  wide_tag_split_bench<32>(state);  // 32-bit chunks: 8 segments
+}
+BENCHMARK(BM_AblationWideTag32);
+
+void BM_AblationWideTag48(benchmark::State& state) {
+  wide_tag_split_bench<48>(state);  // 16-bit chunks: 16 segments
+}
+BENCHMARK(BM_AblationWideTag48);
+
+// --- D: one consumer, five substrates ------------------------------------
+void substrate_tax_table() {
+  moir::bench::print_header(
+      "E11 table: substrate tax on a Treiber stack (4 threads, Mops/s)",
+      "design-choice ablations: what each emulation layer costs a consumer");
+
+  const std::uint64_t kOps = moir::bench::scaled(50000);
+  moir::Table t("stack throughput by substrate");
+  t.columns({"substrate", "Mops/s"});
+
+  auto run_stack = [&](auto& s) {
+    auto init_ctx = s.make_ctx();
+    moir::TreiberStack<std::remove_reference_t<decltype(s)>> st(s, 256,
+                                                                init_ctx);
+    const double secs = moir::bench::timed_threads(4, [&](std::size_t tid) {
+      auto ctx = s.make_ctx();
+      moir::Xoshiro256 rng(tid + 1);
+      for (std::uint64_t i = 0; i < kOps; ++i) {
+        if (rng.chance(1, 2)) {
+          st.push(ctx, i & 0xfff);
+        } else {
+          st.pop(ctx);
+        }
+      }
+    });
+    return moir::bench::mops(secs, 4 * kOps);
+  };
+
+  {
+    moir::CasBackedLlsc<16> s;
+    t.row({s.name(), moir::Table::num(run_stack(s), 2)});
+  }
+  {
+    moir::RllBackedLlsc<16> s;
+    t.row({s.name(), moir::Table::num(run_stack(s), 2)});
+  }
+  {
+    moir::ComposedBackedLlsc<16> s;
+    t.row({s.name(), moir::Table::num(run_stack(s), 2)});
+  }
+  {
+    moir::BoundedLlsc<> s(6, 2);
+    t.row({s.name(), moir::Table::num(run_stack(s), 2)});
+  }
+  {
+    moir::LockBackedLlsc<16> s;
+    t.row({s.name(), moir::Table::num(run_stack(s), 2)});
+  }
+  t.print();
+  moir::bench::maybe_print_csv(t);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  substrate_tax_table();
+  return 0;
+}

@@ -1,0 +1,132 @@
+// E8 (Section 5): disjoint-access parallelism.
+//
+// The paper notes Figures 3-5 are disjoint-access parallel: operations on
+// different variables touch no common memory, so the implementations
+// introduce no contention of their own. On this single-core host raw
+// throughput cannot show parallel speedup, so we reproduce the claim by
+// its observable proxy: CAS/SC *conflict retries*. Threads hammering one
+// shared variable retry heavily; the same threads spread over disjoint
+// variables retry (essentially) never — and for Figure 6/7, whose shared
+// announcement structures are NOT disjoint-access parallel, we measure how
+// much cross-variable interference their sharing actually causes.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "core/bounded_llsc.hpp"
+#include "core/llsc_from_cas.hpp"
+
+namespace {
+
+using L = moir::LlscFromCas<16>;
+
+struct Result {
+  double ns_per_op;
+  double retries_per_op;
+};
+
+// `window` adds computation (and an occasional yield, standing in for the
+// preemption a multicore machine would give for free) between LL and SC,
+// widening the vulnerability window so conflicts become visible on a
+// single-core host.
+Result run_fig4(unsigned threads, bool disjoint, std::uint64_t ops_each,
+                unsigned window) {
+  std::vector<L::Var> vars(disjoint ? threads : 1);
+  std::atomic<std::uint64_t> retries{0};
+  const double secs = moir::bench::timed_threads(threads, [&](std::size_t tid) {
+    L::Var& var = vars[disjoint ? tid : 0];
+    std::uint64_t my_retries = 0;
+    std::uint64_t sink = 0;
+    for (std::uint64_t i = 0; i < ops_each; ++i) {
+      for (;;) {
+        L::Keep keep;
+        const std::uint64_t v = L::ll(var, keep);
+        for (unsigned s = 0; s < window; ++s) sink += s * v;
+        if (window != 0 && i % 64 == 0) std::this_thread::yield();
+        if (L::sc(var, keep, (v + 1) & 0xffff)) break;
+        ++my_retries;
+      }
+    }
+    benchmark::DoNotOptimize(sink);
+    retries.fetch_add(my_retries);
+  });
+  const std::uint64_t total = threads * ops_each;
+  return {moir::bench::ns_per_op(secs, total),
+          static_cast<double>(retries.load()) / total};
+}
+
+Result run_fig7(unsigned threads, bool disjoint, std::uint64_t ops_each) {
+  moir::BoundedLlsc<> dom(threads, 1);
+  std::vector<moir::BoundedLlsc<>::Var> vars(disjoint ? threads : 1);
+  for (auto& v : vars) dom.init_var(v, 0);
+  std::atomic<std::uint64_t> retries{0};
+  const double secs = moir::bench::timed_threads(threads, [&](std::size_t tid) {
+    auto ctx = dom.make_ctx();
+    auto& var = vars[disjoint ? tid : 0];
+    std::uint64_t my_retries = 0;
+    for (std::uint64_t i = 0; i < ops_each; ++i) {
+      for (;;) {
+        moir::BoundedLlsc<>::Keep keep;
+        const std::uint64_t v = dom.ll(ctx, var, keep);
+        if (dom.sc(ctx, var, keep, (v + 1) & 0xffff)) break;
+        ++my_retries;
+      }
+    }
+    retries.fetch_add(my_retries);
+  });
+  const std::uint64_t total = threads * ops_each;
+  return {moir::bench::ns_per_op(secs, total),
+          static_cast<double>(retries.load()) / total};
+}
+
+void tables() {
+  moir::bench::print_header(
+      "E8: disjoint-access parallelism — conflict retries, shared vs "
+      "disjoint variables",
+      "Figures 3-5 are disjoint-access parallel (no contention introduced); "
+      "Figures 6-7 share announcement arrays but 'accesses to common "
+      "variables are not concentrated in any one area'");
+
+  const std::uint64_t kOps = moir::bench::scaled(100000);
+  moir::Table t("retries/op and ns/op, 4 threads");
+  t.columns({"impl", "LL-SC window", "access pattern", "ns/op",
+             "conflict_retries/op"});
+  for (const unsigned window : {0u, 200u}) {
+    for (const bool disjoint : {false, true}) {
+      const Result r4 = run_fig4(4, disjoint, window == 0 ? kOps : kOps / 10,
+                                 window);
+      t.row({"fig4 (CAS-backed)", window == 0 ? "tight" : "wide(+work)",
+             disjoint ? "disjoint vars" : "one shared var",
+             moir::Table::num(r4.ns_per_op, 1),
+             moir::Table::num(r4.retries_per_op, 4)});
+    }
+  }
+  for (const bool disjoint : {false, true}) {
+    const Result r7 = run_fig7(4, disjoint, kOps);
+    t.row({"fig7 (bounded)", "tight",
+           disjoint ? "disjoint vars" : "one shared var",
+           moir::Table::num(r7.ns_per_op, 1),
+           moir::Table::num(r7.retries_per_op, 4)});
+  }
+  t.print();
+  moir::bench::maybe_print_csv(t);
+
+  std::printf(
+      "\nreading: retries/op ~0 on disjoint variables = the implementation "
+      "adds no contention of its own (disjoint-access parallelism).\n"
+      "Figure 7's announcement array is shared, yet disjoint-variable "
+      "retries stay ~0 because A is only CAS-free bookkeeping — the paper's "
+      "'not concentrated in any one area' argument.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  tables();
+  return 0;
+}

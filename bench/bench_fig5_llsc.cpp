@@ -1,0 +1,110 @@
+// E3 (Theorem 3 / Figure 5): LL/VL/SC directly from RLL/RSC.
+//
+// Reproduces two things:
+//  (a) per-op cost of the direct single-tag construction vs the layered
+//      alternative (Figure 4 stacked on Figure 3), with and without
+//      spurious failures;
+//  (b) the tag-budget argument for preferring the direct construction:
+//      layering needs TWO tags in the word, halving tag bits and shrinking
+//      the wraparound horizon from centuries to minutes at memory speed.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <string>
+
+#include "bench/common.hpp"
+#include "core/cas_from_rllrsc.hpp"
+#include "core/llsc_composed.hpp"
+#include "core/llsc_from_rllrsc.hpp"
+
+namespace {
+
+using Direct = moir::LlscFromRllRsc<16>;  // 48-bit tag + 16-bit value
+
+// The layered alternative: Figure 4's LL/VL/SC whose CAS is Figure 3's
+// emulated CAS, as shipped in the library (core/llsc_composed.hpp). The
+// inner CAS word spends 24 bits on its own tag; the outer LL/SC tag and
+// the application value share the remaining 40 bits.
+using Layered = moir::LlscComposed<16>;
+
+void BM_DirectLlSc(benchmark::State& state) {
+  moir::FaultInjector faults;
+  faults.set_spurious_probability(state.range(0) / 1000.0);
+  Direct::Var var(0);
+  moir::Processor proc(&faults);
+  for (auto _ : state) {
+    Direct::Keep keep;
+    const std::uint64_t v = Direct::ll(var, keep);
+    benchmark::DoNotOptimize(Direct::sc(proc, var, keep, (v + 1) & 0xffff));
+  }
+}
+BENCHMARK(BM_DirectLlSc)->Arg(0)->Arg(10)->Arg(100);
+
+void BM_LayeredLlSc(benchmark::State& state) {
+  moir::FaultInjector faults;
+  faults.set_spurious_probability(state.range(0) / 1000.0);
+  Layered::Var var(0);
+  moir::Processor proc(&faults);
+  for (auto _ : state) {
+    Layered::Keep keep;
+    const std::uint64_t v = Layered::ll(var, keep);
+    benchmark::DoNotOptimize(Layered::sc(proc, var, keep, (v + 1) & 0xffff));
+  }
+}
+BENCHMARK(BM_LayeredLlSc)->Arg(0)->Arg(10)->Arg(100);
+
+void tag_budget_table() {
+  moir::bench::print_header(
+      "E3 table: single-tag (Figure 5) vs two-tag (Figure 4 over Figure 3)",
+      "a direct implementation avoids doubling tags, which would "
+      "'substantially reduce the time needed for the tags to wrap around'");
+
+  // Measure the achievable SC rate once, then compute wraparound horizons.
+  const std::uint64_t kOps = moir::bench::scaled(2000000);
+  Direct::Var var(0);
+  moir::Processor proc;
+  const double secs = moir::bench::timed_threads(1, [&](std::size_t) {
+    for (std::uint64_t i = 0; i < kOps; ++i) {
+      Direct::Keep keep;
+      const std::uint64_t v = Direct::ll(var, keep);
+      Direct::sc(proc, var, keep, (v + 1) & 0xffff);
+    }
+  });
+  const double rate = static_cast<double>(kOps) / secs;  // SC/s
+
+  moir::Table t("wraparound horizon at the measured SC rate");
+  t.columns({"construction", "tag_bits", "value_bits", "sc_rate(M/s)",
+             "horizon"});
+  auto horizon = [&](unsigned bits) {
+    const double seconds = std::pow(2.0, bits) / rate;
+    char buf[64];
+    if (seconds > 3600.0 * 24 * 365) {
+      std::snprintf(buf, sizeof buf, "%.1f years",
+                    seconds / (3600.0 * 24 * 365));
+    } else if (seconds > 3600.0 * 24) {
+      std::snprintf(buf, sizeof buf, "%.1f days", seconds / (3600.0 * 24));
+    } else if (seconds > 60) {
+      std::snprintf(buf, sizeof buf, "%.1f minutes", seconds / 60);
+    } else {
+      std::snprintf(buf, sizeof buf, "%.2f seconds", seconds);
+    }
+    return std::string(buf);
+  };
+  t.row({"figure-5 direct (1 tag)", "48", "16",
+         moir::Table::num(rate / 1e6, 2), horizon(48)});
+  t.row({"fig4-over-fig3 (2 tags)", "24+24", "16",
+         moir::Table::num(rate / 1e6, 2), horizon(24)});
+  t.print();
+  moir::bench::maybe_print_csv(t);
+
+  std::printf("\nspace overhead: 0 words for both (Theorem 3)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  tag_budget_table();
+  return 0;
+}

@@ -1,0 +1,123 @@
+// E4 (Theorem 4 / Figure 6): W-word WLL/VL/SC.
+//
+// Reproduces the complexity shape: WLL and SC are Θ(W), VL is Θ(1); and the
+// space claim: Θ(NW) overall overhead versus Θ(NWT) for the naive
+// per-variable generalization — the gap that makes this implementation the
+// practical one for many variables.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bench/common.hpp"
+#include "core/wide_llsc.hpp"
+
+namespace {
+
+using Wide = moir::WideLlsc<32>;
+
+void BM_WideWllSc(benchmark::State& state) {
+  const unsigned w = static_cast<unsigned>(state.range(0));
+  Wide dom(2, w);
+  Wide::Var var;
+  std::vector<std::uint64_t> init(w, 1);
+  dom.init_var(var, init);
+  auto ctx = dom.make_ctx();
+  std::vector<std::uint64_t> buf(w);
+  for (auto _ : state) {
+    Wide::Keep keep;
+    if (dom.wll(ctx, var, keep, buf).success) {
+      buf[0] = (buf[0] + 1) & Wide::kMaxChunk;
+      benchmark::DoNotOptimize(dom.sc(ctx, var, keep, buf));
+    }
+  }
+  state.counters["per_word_ns"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * w,
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_WideWllSc)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_WideVl(benchmark::State& state) {
+  const unsigned w = static_cast<unsigned>(state.range(0));
+  Wide dom(2, w);
+  Wide::Var var;
+  std::vector<std::uint64_t> init(w, 1);
+  dom.init_var(var, init);
+  auto ctx = dom.make_ctx();
+  std::vector<std::uint64_t> buf(w);
+  Wide::Keep keep;
+  dom.wll(ctx, var, keep, buf);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dom.vl(ctx, var, keep));
+  }
+}
+BENCHMARK(BM_WideVl)->Arg(1)->Arg(8)->Arg(64);
+
+void shape_and_space_tables() {
+  moir::bench::print_header(
+      "E4 tables: time vs W (expect linear for WLL/SC, flat for VL) and "
+      "space vs T",
+      "WLL, VL, SC in Θ(W), Θ(1), Θ(W) with Θ(NW) space overhead");
+
+  moir::Table t("measured ns/op vs W (single thread)");
+  t.columns({"W", "wll_ns", "sc_ns", "vl_ns", "wll_ns/W"});
+  const std::uint64_t kOps = moir::bench::scaled(100000);
+  for (unsigned w : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    Wide dom(2, w);
+    Wide::Var var;
+    std::vector<std::uint64_t> init(w, 1);
+    dom.init_var(var, init);
+    auto ctx = dom.make_ctx();
+    std::vector<std::uint64_t> buf(w);
+
+    moir::Stopwatch timer;
+    for (std::uint64_t i = 0; i < kOps; ++i) {
+      Wide::Keep keep;
+      dom.wll(ctx, var, keep, buf);
+    }
+    const double wll_ns = moir::bench::ns_per_op(timer.elapsed_s(), kOps);
+
+    timer.reset();
+    for (std::uint64_t i = 0; i < kOps; ++i) {
+      Wide::Keep keep;
+      if (dom.wll(ctx, var, keep, buf).success) {
+        dom.sc(ctx, var, keep, buf);
+      }
+    }
+    const double pair_ns = moir::bench::ns_per_op(timer.elapsed_s(), kOps);
+
+    Wide::Keep keep;
+    dom.wll(ctx, var, keep, buf);
+    timer.reset();
+    for (std::uint64_t i = 0; i < kOps; ++i) {
+      benchmark::DoNotOptimize(dom.vl(ctx, var, keep));
+    }
+    const double vl_ns = moir::bench::ns_per_op(timer.elapsed_s(), kOps);
+
+    t.row({moir::Table::num(w), moir::Table::num(wll_ns, 1),
+           moir::Table::num(pair_ns - wll_ns, 1), moir::Table::num(vl_ns, 1),
+           moir::Table::num(wll_ns / w, 1)});
+  }
+  t.print();
+  moir::bench::maybe_print_csv(t);
+
+  moir::Table s("space overhead in words, N=16 processes, W=8 segments");
+  s.columns({"T (variables)", "this impl (NW)", "naive per-var (NWT)",
+             "ratio"});
+  const std::uint64_t nw = 16 * 8;
+  for (std::uint64_t t_vars : {1ull, 100ull, 10000ull, 1000000ull}) {
+    s.row({moir::Table::num(t_vars), moir::Table::num(nw),
+           moir::Table::num(nw * t_vars),
+           moir::Table::num(static_cast<double>(t_vars), 0) + "x"});
+  }
+  s.print();
+  moir::bench::maybe_print_csv(s);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  shape_and_space_tables();
+  return 0;
+}

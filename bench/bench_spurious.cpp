@@ -1,0 +1,91 @@
+// E7 (Section 5): sensitivity to spurious RSC failures.
+//
+// The paper argues its RLL/RSC loops have "a very small window between
+// each RLL and the subsequent RSC, which makes spurious failures unlikely
+// and, accordingly, repeated spurious failures extremely unlikely". We
+// reproduce the quantitative shape: with per-RSC spurious probability p,
+// retries per operation are geometric — P(k retries) ≈ p^k — so the retry
+// histogram's tail decays by a factor ~1/p per bucket, and mean retries
+// ≈ p/(1-p). We sweep p far beyond anything hardware exhibits.
+#include <benchmark/benchmark.h>
+
+#include "bench/common.hpp"
+#include "core/llsc_from_rllrsc.hpp"
+#include "util/histogram.hpp"
+
+namespace {
+
+using L = moir::LlscFromRllRsc<16>;
+
+void retry_tables() {
+  moir::bench::print_header(
+      "E7: retries per SC vs injected spurious-failure rate",
+      "repeated spurious failures are extremely unlikely (geometric tail); "
+      "wait-free given finitely many spurious failures per operation");
+
+  moir::Table t("single-thread SC retry statistics");
+  t.columns({"p(spurious)", "mean_retries", "p99_retries", "max_retries",
+             "predicted_mean p/(1-p)", "ns/op"});
+  const std::uint64_t kOps = moir::bench::scaled(300000);
+  for (double p : {0.0001, 0.001, 0.01, 0.1, 0.3, 0.5}) {
+    moir::FaultInjector faults;
+    faults.set_spurious_probability(p);
+    L::Var var(0);
+    moir::Processor proc(&faults);
+    moir::Histogram retries;
+    moir::Stopwatch timer;
+    for (std::uint64_t i = 0; i < kOps; ++i) {
+      L::Keep keep;
+      const std::uint64_t v = L::ll(var, keep);
+      const std::uint64_t before = proc.stats().attempts;
+      L::sc(proc, var, keep, (v + 1) & 0xffff);
+      retries.record(proc.stats().attempts - before - 1);
+    }
+    const double secs = timer.elapsed_s();
+    t.row({moir::Table::num(p, 4), moir::Table::num(retries.mean(), 4),
+           moir::Table::num(retries.quantile(0.99)),
+           moir::Table::num(retries.max()),
+           moir::Table::num(p / (1 - p), 4),
+           moir::Table::num(moir::bench::ns_per_op(secs, kOps), 1)});
+  }
+  t.print();
+  moir::bench::maybe_print_csv(t);
+
+  // Full retry histogram at an extreme rate, to show the geometric tail.
+  moir::FaultInjector faults;
+  faults.set_spurious_probability(0.3);
+  L::Var var(0);
+  moir::Processor proc(&faults);
+  moir::Histogram retries;
+  for (std::uint64_t i = 0; i < moir::bench::scaled(300000); ++i) {
+    L::Keep keep;
+    const std::uint64_t v = L::ll(var, keep);
+    const std::uint64_t before = proc.stats().attempts;
+    L::sc(proc, var, keep, (v + 1) & 0xffff);
+    retries.record(proc.stats().attempts - before - 1);
+  }
+  std::printf("\nretry histogram at p=0.3 (log2 buckets — geometric tail):\n%s",
+              retries.render().c_str());
+}
+
+void BM_ScUnderSpuriousRate(benchmark::State& state) {
+  moir::FaultInjector faults;
+  faults.set_spurious_probability(state.range(0) / 1000.0);
+  L::Var var(0);
+  moir::Processor proc(&faults);
+  for (auto _ : state) {
+    L::Keep keep;
+    const std::uint64_t v = L::ll(var, keep);
+    benchmark::DoNotOptimize(L::sc(proc, var, keep, (v + 1) & 0xffff));
+  }
+}
+BENCHMARK(BM_ScUnderSpuriousRate)->Arg(0)->Arg(1)->Arg(10)->Arg(100)->Arg(500);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  retry_tables();
+  return 0;
+}

@@ -1,0 +1,166 @@
+// E6 (Section 1 tag trade-off): wraparound horizons, and the failure mode.
+//
+// Reproduces the paper's back-of-envelope: "on a 64-bit machine, reserving
+// 48 bits for the tag means that an error can occur only if a variable is
+// modified 2^48 times during one LL-SC sequence... about nine years" at
+// 10^6 writes/s. We measure the *actual* achievable SC rate on this host
+// and tabulate the horizon for every tag split, then deliberately provoke
+// the wraparound error with an 8-bit tag — and show Figure 7's bounded-tag
+// construction surviving the identical schedule.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <string>
+
+#include "bench/common.hpp"
+#include "core/bounded_llsc.hpp"
+#include "core/llsc_from_cas.hpp"
+
+namespace {
+
+template <unsigned ValBits>
+double measure_sc_rate(std::uint64_t ops) {
+  using L = moir::LlscFromCas<ValBits>;
+  typename L::Var var(0);
+  moir::Stopwatch timer;
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    typename L::Keep keep;
+    const std::uint64_t v = L::ll(var, keep);
+    L::sc(var, keep, (v + 1) & L::Word::kMaxValue);
+  }
+  return static_cast<double>(ops) / timer.elapsed_s();
+}
+
+std::string horizon_str(double seconds) {
+  char buf[64];
+  if (seconds > 3600.0 * 24 * 365 * 1000) {
+    std::snprintf(buf, sizeof buf, "%.2e years",
+                  seconds / (3600.0 * 24 * 365));
+  } else if (seconds > 3600.0 * 24 * 365) {
+    std::snprintf(buf, sizeof buf, "%.1f years", seconds / (3600.0 * 24 * 365));
+  } else if (seconds > 3600) {
+    std::snprintf(buf, sizeof buf, "%.1f hours", seconds / 3600);
+  } else if (seconds > 1) {
+    std::snprintf(buf, sizeof buf, "%.1f seconds", seconds);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1f ms", seconds * 1e3);
+  }
+  return buf;
+}
+
+// Provoke the error: victim LLs, then the adversary performs exactly 2^tag
+// SCs that return the word to the same value+tag; the victim's stale SC
+// then SUCCEEDS although the spec says it must fail.
+template <unsigned ValBits>
+bool wraparound_error_occurs() {
+  using L = moir::LlscFromCas<ValBits>;
+  typename L::Var var(1);
+  typename L::Keep victim;
+  L::ll(var, victim);
+  const std::uint64_t cycle = 1ull << L::Word::kTagBits;
+  for (std::uint64_t i = 0; i < cycle; ++i) {
+    typename L::Keep k;
+    const std::uint64_t v = L::ll(var, k);
+    // Alternate 1 -> 2 -> 1 ... ending back at value 1 with the tag having
+    // cycled all the way around.
+    L::sc(var, k, v == 1 ? 2 : 1);
+  }
+  // After 2^tagbits SCs the word is (tag 0, value 1) again: identical bits.
+  return L::sc(var, victim, 9);  // true = the error happened
+}
+
+void tables() {
+  moir::bench::print_header(
+      "E6: tag wraparound — horizons at measured SC rate, and the failure "
+      "mode with tiny tags",
+      "48-bit tags -> error needs 2^48 modifications in one LL-SC sequence "
+      "(~9 years at 1M/s); trade-off tag bits vs value bits");
+
+  const std::uint64_t kOps = moir::bench::scaled(2000000);
+  const double rate = measure_sc_rate<16>(kOps);
+  std::printf("\nmeasured single-thread SC rate: %.2f M/s (paper assumed "
+              "1 M/s)\n",
+              rate / 1e6);
+
+  moir::Table t("wraparound horizon by tag split (at measured rate)");
+  t.columns({"tag_bits", "value_bits", "horizon at measured rate",
+             "horizon at paper's 1M/s"});
+  for (unsigned tag_bits : {8u, 16u, 24u, 32u, 40u, 48u, 56u}) {
+    const double states = std::pow(2.0, tag_bits);
+    t.row({moir::Table::num(tag_bits), moir::Table::num(64 - tag_bits),
+           horizon_str(states / rate), horizon_str(states / 1e6)});
+  }
+  t.print();
+  moir::bench::maybe_print_csv(t);
+
+  std::printf("\nforced wraparound with an 8-bit tag (2^8 = 256 SCs during "
+              "one sequence):\n");
+  const bool error8 = wraparound_error_occurs<56>();  // 8-bit tag
+  std::printf("  8-bit tag : stale SC succeeded = %d  (%s)\n", error8,
+              error8 ? "error reproduced, as predicted" : "UNEXPECTED");
+  const bool error16 = [] {
+    // 16-bit tag: the same adversary budget (256 SCs) is NOT enough.
+    using L = moir::LlscFromCas<48>;
+    L::Var var(1);
+    L::Keep victim;
+    L::ll(var, victim);
+    for (int i = 0; i < 256; ++i) {
+      L::Keep k;
+      const std::uint64_t v = L::ll(var, k);
+      L::sc(var, k, v == 1 ? 2 : 1);
+    }
+    return L::sc(var, victim, 9);
+  }();
+  std::printf("  16-bit tag: stale SC succeeded = %d  (needs 2^16 SCs, got "
+              "256)\n",
+              error16);
+
+  // Figure 7 under the identical adversary: bounded tags never err.
+  moir::BoundedLlsc<> dom(2, 1);
+  moir::BoundedLlsc<>::Var var;
+  dom.init_var(var, 1);
+  auto victim_ctx = dom.make_ctx();
+  auto adv_ctx = dom.make_ctx();
+  moir::BoundedLlsc<>::Keep victim;
+  dom.ll(victim_ctx, var, victim);
+  for (int i = 0; i < 100000; ++i) {
+    moir::BoundedLlsc<>::Keep k;
+    const std::uint64_t v = dom.ll(adv_ctx, var, k);
+    dom.sc(adv_ctx, var, k, v == 1 ? 2 : 1);
+  }
+  const bool fig7_err = dom.sc(victim_ctx, var, victim, 9);
+  std::printf("  figure-7  : stale SC succeeded = %d after 100000 SCs "
+              "(bounded tags: error impossible)\n",
+              fig7_err);
+}
+
+void BM_ScRateByValBits16(benchmark::State& state) {
+  using L = moir::LlscFromCas<16>;
+  L::Var var(0);
+  for (auto _ : state) {
+    L::Keep keep;
+    const std::uint64_t v = L::ll(var, keep);
+    benchmark::DoNotOptimize(L::sc(var, keep, (v + 1) & L::Word::kMaxValue));
+  }
+}
+BENCHMARK(BM_ScRateByValBits16);
+
+void BM_ScRateByValBits48(benchmark::State& state) {
+  using L = moir::LlscFromCas<48>;
+  L::Var var(0);
+  for (auto _ : state) {
+    L::Keep keep;
+    const std::uint64_t v = L::ll(var, keep);
+    benchmark::DoNotOptimize(L::sc(var, keep, (v + 1) & L::Word::kMaxValue));
+  }
+}
+BENCHMARK(BM_ScRateByValBits48);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  tables();
+  return 0;
+}

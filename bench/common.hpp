@@ -1,0 +1,81 @@
+// Shared helpers for the benchmark harness.
+//
+// Each bench binary reproduces one experiment row of DESIGN.md's
+// per-experiment index. Micro per-op costs use google-benchmark; the
+// contention/scaling experiments run their own measured thread pools and
+// print paper-style tables (plus CSV when MOIR_BENCH_CSV is set).
+#pragma once
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "platform/features.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+#include "util/thread_utils.hpp"
+
+namespace moir::bench {
+
+inline void print_header(const char* experiment, const char* claim) {
+  std::printf("\n=================================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("paper claim: %s\n", claim);
+  std::printf("%s\n", platform_summary().c_str());
+  std::printf("=================================================================\n");
+}
+
+inline void maybe_print_csv(const Table& table) {
+  if (std::getenv("MOIR_BENCH_CSV") != nullptr) {
+    std::printf("-- csv --\n%s-- end csv --\n", table.csv().c_str());
+  }
+}
+
+// Runs `body(thread_index)` on `threads` threads after a barrier, measuring
+// wall time of the parallel section. Returns seconds.
+//
+// Two barriers, not one: with a single barrier the LAST arriver releases
+// everyone, and if that is a worker it starts the workload before the
+// coordinator resumes and resets the timer — on a single-core host the
+// whole workload can finish inside that gap. The ready-barrier guarantees
+// everyone is parked, the coordinator then stamps the start time, and the
+// go-barrier releases the workers.
+inline double timed_threads(unsigned threads,
+                            const std::function<void(std::size_t)>& body) {
+  SpinBarrier ready(threads + 1);
+  SpinBarrier go(threads + 1);
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      ready.arrive_and_wait();
+      go.arrive_and_wait();
+      body(t);
+    });
+  }
+  ready.arrive_and_wait();
+  Stopwatch timer;
+  go.arrive_and_wait();
+  for (auto& th : pool) th.join();
+  return timer.elapsed_s();
+}
+
+// ns per op for `ops` total operations over `secs` seconds.
+inline double ns_per_op(double secs, std::uint64_t ops) {
+  return ops == 0 ? 0.0 : secs * 1e9 / static_cast<double>(ops);
+}
+
+inline double mops(double secs, std::uint64_t ops) {
+  return secs == 0.0 ? 0.0 : static_cast<double>(ops) / secs / 1e6;
+}
+
+// Scale factor so benches finish quickly on slow/emulated hosts:
+// MOIR_BENCH_QUICK=1 divides op counts by 10.
+inline std::uint64_t scaled(std::uint64_t ops) {
+  return std::getenv("MOIR_BENCH_QUICK") != nullptr ? ops / 10 : ops;
+}
+
+}  // namespace moir::bench

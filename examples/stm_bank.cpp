@@ -1,0 +1,92 @@
+// Software transactional memory demo — the paper's Section 5 claim that
+// STM "can be implemented in existing systems", as a bank: concurrent
+// transfers between accounts, atomic multi-account audits, and a final
+// conservation check.
+#include <atomic>
+#include <cstdio>
+
+#include "nonblocking/stm.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+#include "util/thread_utils.hpp"
+
+namespace {
+
+constexpr unsigned kThreads = 4;
+constexpr std::size_t kAccounts = 32;
+constexpr std::uint64_t kInitialBalance = 1000;
+constexpr int kTransfersEach = 50000;
+
+void tx_transfer(const std::uint64_t* olds, std::uint64_t* news, unsigned,
+                 std::uint64_t amount) {
+  const std::uint64_t moved = olds[0] >= amount ? amount : 0;
+  news[0] = olds[0] - moved;
+  news[1] = olds[1] + moved;
+}
+
+void tx_audit4(const std::uint64_t* olds, std::uint64_t* news, unsigned n,
+               std::uint64_t) {
+  // Read-only transaction: an atomic snapshot of four accounts.
+  for (unsigned i = 0; i < n; ++i) news[i] = olds[i];
+}
+
+}  // namespace
+
+int main() {
+  moir::Stm stm(kThreads + 1, kAccounts);
+  for (std::size_t a = 0; a < kAccounts; ++a) {
+    stm.set_initial(a, kInitialBalance);
+  }
+
+  std::printf("stm bank: %zu accounts x %llu, %u threads x %d transfers\n\n",
+              kAccounts, static_cast<unsigned long long>(kInitialBalance),
+              kThreads, kTransfersEach);
+
+  std::atomic<std::uint64_t> aborts{0}, audits_ok{0};
+  moir::Stopwatch timer;
+  moir::run_threads(kThreads, [&](std::size_t tid) {
+    auto ctx = stm.make_ctx();
+    moir::Xoshiro256 rng(tid * 7 + 1);
+    std::uint64_t my_aborts = 0, my_audits = 0;
+    for (int i = 0; i < kTransfersEach; ++i) {
+      if (i % 16 == 0) {
+        // Atomic 4-account audit: the snapshot's sum must be stable
+        // against concurrent transfers among those four accounts... it
+        // isn't in general (transfers in/out of the window), but the
+        // snapshot itself must be consistent — exercised by the checker
+        // tests; here we just count successful audits.
+        const std::uint32_t base =
+            static_cast<std::uint32_t>(rng.next_below(kAccounts - 4));
+        const std::uint32_t addrs[] = {base, base + 1, base + 2, base + 3};
+        my_audits += stm.transact(ctx, addrs, tx_audit4, 0).committed;
+        continue;
+      }
+      std::uint32_t a = static_cast<std::uint32_t>(rng.next_below(kAccounts));
+      std::uint32_t b = static_cast<std::uint32_t>(rng.next_below(kAccounts));
+      if (a == b) continue;
+      if (a > b) std::swap(a, b);
+      const std::uint32_t addrs[] = {a, b};
+      my_aborts +=
+          stm.transact(ctx, addrs, tx_transfer, 1 + rng.next_below(50)).aborts;
+    }
+    aborts.fetch_add(my_aborts);
+    audits_ok.fetch_add(my_audits);
+  });
+  const double secs = timer.elapsed_s();
+
+  auto ctx = stm.make_ctx();
+  std::uint64_t total = 0;
+  for (std::size_t a = 0; a < kAccounts; ++a) total += stm.read(ctx, a);
+
+  std::printf("throughput : %.2f M transactions/s\n",
+              kThreads * kTransfersEach / secs / 1e6);
+  std::printf("aborts     : %llu (retried transparently)\n",
+              static_cast<unsigned long long>(aborts.load()));
+  std::printf("audits     : %llu atomic 4-account snapshots\n",
+              static_cast<unsigned long long>(audits_ok.load()));
+  std::printf("total money: %llu (expected %llu) -> %s\n",
+              static_cast<unsigned long long>(total),
+              static_cast<unsigned long long>(kAccounts * kInitialBalance),
+              total == kAccounts * kInitialBalance ? "CONSERVED" : "BROKEN");
+  return total == kAccounts * kInitialBalance ? 0 : 1;
+}

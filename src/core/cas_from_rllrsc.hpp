@@ -1,0 +1,62 @@
+// Figure 3: constant-time, low-overhead, unbounded-tag implementation of
+// CAS using RLL and RSC (Theorem 1).
+//
+// Each word accessed by this CAS holds a {tag, value} pair; the tag detects
+// changes to the value field so that the algorithm never depends on RSC
+// succeeding — only on RSC *failing* when the word changed, which even the
+// weakest hardware LL/SC guarantees. The operation is wait-free provided
+// only finitely many spurious failures occur during one invocation, and
+// completes in constant time after the last spurious failure (assuming, as
+// the paper does, that the tag does not wrap around within one operation).
+#pragma once
+
+#include <cstdint>
+
+#include "platform/rll_rsc.hpp"
+#include "platform/yield_point.hpp"
+#include "core/tagged_word.hpp"
+
+namespace moir {
+
+template <unsigned ValBits = kDefaultValBits>
+class CasFromRllRsc {
+ public:
+  using Word = TaggedWord<ValBits>;
+  using value_type = std::uint64_t;
+
+  static constexpr unsigned kValBits = ValBits;
+
+  // A word accessible by the emulated CAS. Zero space overhead (Theorem 1):
+  // this is exactly the one word the application wants, with the tag packed
+  // inside it.
+  class Var {
+   public:
+    explicit Var(value_type initial = 0)
+        : word_(Word::make(0, initial).raw()) {}
+
+    value_type read() const { return Word::from_raw(word_.read()).value(); }
+
+   private:
+    friend class CasFromRllRsc;
+    RllWord word_;
+  };
+
+  // CAS(addr, old, new) executed by the processor `proc`. Figure 3 verbatim;
+  // line numbers in comments refer to the paper.
+  static bool cas(Processor& proc, Var& var, value_type old_value,
+                  value_type new_value) {
+    const Word oldword = Word::from_raw(var.word_.read());       // line 1
+    if (oldword.value() != old_value) return false;              // line 2
+    if (old_value == new_value) return true;                     // line 3
+    const Word newword = oldword.successor(new_value);           // line 4
+    for (;;) {
+      MOIR_YIELD_POINT();
+      if (proc.rll(var.word_) != oldword.raw()) return false;    // line 5
+      if (proc.rsc(var.word_, newword.raw())) return true;       // line 6
+    }
+  }
+
+  static value_type read(const Var& var) { return var.read(); }
+};
+
+}  // namespace moir

@@ -1,0 +1,74 @@
+// The layered construction the paper argues AGAINST: Figure 4's LL/VL/SC
+// stacked on Figure 3's CAS-from-RLL/RSC.
+//
+// It is correct (Theorems 1+2 compose), but the word must carry TWO tags —
+// one consumed by each layer — so the tag-bits budget halves and the
+// wraparound horizon collapses (bench_fig5_llsc quantifies this: at memory
+// speed, from centuries to under a second). Figure 5 exists precisely to
+// avoid this; the composed construction is provided for completeness and
+// as the experimental baseline for E3.
+//
+// Word layout: [inner tag: InnerTagBits | outer tag: OuterTagBits | value].
+// The inner tag belongs to the Figure-3 CAS; the outer tag to the
+// Figure-4 LL/SC on top of it.
+#pragma once
+
+#include <cstdint>
+
+#include "core/cas_from_rllrsc.hpp"
+#include "core/tagged_word.hpp"
+#include "platform/rll_rsc.hpp"
+#include "platform/yield_point.hpp"
+#include "util/bits.hpp"
+
+namespace moir {
+
+template <unsigned ValBits = 16, unsigned OuterTagBits = (64 - ValBits) / 2>
+class LlscComposed {
+  static_assert(ValBits + OuterTagBits < 64,
+                "must leave at least one bit for the inner tag");
+
+ public:
+  // Inner CAS treats [outer tag | value] as its opaque "value".
+  using Inner = CasFromRllRsc<ValBits + OuterTagBits>;
+  using value_type = std::uint64_t;
+
+  static constexpr unsigned kValBits = ValBits;
+  static constexpr unsigned kOuterTagBits = OuterTagBits;
+  static constexpr unsigned kInnerTagBits = 64 - ValBits - OuterTagBits;
+  static constexpr std::uint64_t kMaxValue = low_mask(ValBits);
+
+  struct Keep {
+    std::uint64_t packed = 0;  // outer tag || value
+  };
+
+  using Var = typename Inner::Var;
+
+  // LL: read the inner word's value field = [outer tag | value].
+  static value_type ll(const Var& var, Keep& keep) {
+    keep.packed = Inner::read(var);
+    MOIR_YIELD_POINT();
+    return keep.packed & kMaxValue;
+  }
+
+  static bool vl(const Var& var, const Keep& keep) {
+    return Inner::read(var) == keep.packed;
+  }
+
+  // SC: Figure 4's single CAS, provided by Figure 3.
+  static bool sc(Processor& proc, Var& var, const Keep& keep,
+                 value_type newval) {
+    const std::uint64_t outer_tag = keep.packed >> ValBits;
+    const std::uint64_t next =
+        (add_mod_pow2(outer_tag, 1, OuterTagBits) << ValBits) |
+        (newval & kMaxValue);
+    MOIR_YIELD_POINT();
+    return Inner::cas(proc, var, keep.packed, next);
+  }
+
+  static value_type read(const Var& var) {
+    return Inner::read(var) & kMaxValue;
+  }
+};
+
+}  // namespace moir

@@ -1,0 +1,69 @@
+// Figure 4: constant-time, low-overhead, unbounded-tag implementation of
+// LL/VL/SC using CAS (Theorem 2).
+//
+// This is the paper's key interface move: LL receives a pointer to a
+// private `keep` word, stores the {tag, value} it read there, and VL/SC
+// receive that word back. Because the caller supplies the storage (normally
+// on its stack), the implementation needs no per-variable or per-process
+// bookkeeping — zero reserved space — and any number of LL-SC sequences may
+// run concurrently, including several in one process.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "core/tagged_word.hpp"
+#include "platform/yield_point.hpp"
+
+namespace moir {
+
+template <unsigned ValBits = kDefaultValBits>
+class LlscFromCas {
+ public:
+  using Word = TaggedWord<ValBits>;
+  using value_type = std::uint64_t;
+
+  static constexpr unsigned kValBits = ValBits;
+
+  // The private word the caller passes to ll() and back to vl()/sc().
+  using Keep = Word;
+
+  class Var {
+   public:
+    explicit Var(value_type initial = 0)
+        : word_(Word::make(0, initial).raw()) {}
+
+    Var(const Var&) = delete;
+    Var& operator=(const Var&) = delete;
+
+    value_type read() const {
+      return Word::from_raw(word_.load(std::memory_order_seq_cst)).value();
+    }
+
+   private:
+    friend class LlscFromCas;
+    std::atomic<std::uint64_t> word_;
+  };
+
+  // LL(addr, keep): *keep := *addr; return keep->val   (lines 1-2)
+  static value_type ll(const Var& var, Keep& keep) {
+    keep = Word::from_raw(var.word_.load(std::memory_order_seq_cst));
+    MOIR_YIELD_POINT();
+    return keep.value();
+  }
+
+  // VL(addr, keep): return keep = *addr                (line 3)
+  static bool vl(const Var& var, const Keep& keep) {
+    return var.word_.load(std::memory_order_seq_cst) == keep.raw();
+  }
+
+  // SC(addr, keep, new): return CAS(addr, keep, (keep.tag+1, new)) (line 4)
+  static bool sc(Var& var, const Keep& keep, value_type new_value) {
+    MOIR_YIELD_POINT();
+    std::uint64_t expected = keep.raw();
+    return var.word_.compare_exchange_strong(
+        expected, keep.successor(new_value).raw(), std::memory_order_seq_cst);
+  }
+};
+
+}  // namespace moir

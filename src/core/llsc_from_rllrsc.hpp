@@ -1,0 +1,67 @@
+// Figure 5: constant-time, low-overhead, unbounded-tag implementation of
+// LL/VL/SC directly from the restricted RLL/RSC (Theorem 3).
+//
+// Composing Figure 4 over Figure 3 would also work, but each layer would
+// need its own tag in the word, halving the bits available and therefore
+// drastically shortening the wraparound horizon. The direct construction
+// uses a single tag: LL snapshots the whole {tag, value} word into `keep`,
+// VL re-reads and compares, and SC runs Figure 3's RLL/RSC retry loop from
+// the snapshot. bench_fig5_llsc quantifies the tag-budget difference.
+#pragma once
+
+#include <cstdint>
+
+#include "core/tagged_word.hpp"
+#include "platform/rll_rsc.hpp"
+#include "platform/yield_point.hpp"
+
+namespace moir {
+
+template <unsigned ValBits = kDefaultValBits>
+class LlscFromRllRsc {
+ public:
+  using Word = TaggedWord<ValBits>;
+  using value_type = std::uint64_t;
+
+  static constexpr unsigned kValBits = ValBits;
+
+  using Keep = Word;
+
+  class Var {
+   public:
+    explicit Var(value_type initial = 0)
+        : word_(Word::make(0, initial).raw()) {}
+
+    value_type read() const { return Word::from_raw(word_.read()).value(); }
+
+   private:
+    friend class LlscFromRllRsc;
+    RllWord word_;
+  };
+
+  // LL(addr, keep): *keep := *addr; return keep->val   (lines 1-2)
+  static value_type ll(const Var& var, Keep& keep) {
+    keep = Word::from_raw(var.word_.read());
+    MOIR_YIELD_POINT();
+    return keep.value();
+  }
+
+  // VL(addr, keep): return keep = *addr                (line 3)
+  static bool vl(const Var& var, const Keep& keep) {
+    return var.word_.read() == keep.raw();
+  }
+
+  // SC(addr, keep, newval)                             (lines 4-7)
+  static bool sc(Processor& proc, Var& var, const Keep& keep,
+                 value_type new_value) {
+    const Word oldword = keep;                                   // line 4
+    const Word newword = keep.successor(new_value);              // line 5
+    for (;;) {
+      MOIR_YIELD_POINT();
+      if (proc.rll(var.word_) != oldword.raw()) return false;    // line 6
+      if (proc.rsc(var.word_, newword.raw())) return true;       // line 7
+    }
+  }
+};
+
+}  // namespace moir

@@ -1,0 +1,312 @@
+// Uniform substrate interface for small (one-word) LL/VL/SC.
+//
+// The paper's point is that algorithm designers should be able to write
+// against LL/VL/SC and run on whatever a machine provides. We encode that as
+// a concept: every consumer in src/nonblocking is templated over a
+// SmallLlscSubstrate and runs unchanged on Figure 4 (CAS-backed), Figure 5
+// (RLL/RSC-backed), Figure 7 (bounded tags), the lock-based baseline of the
+// paper's footnote 1, or the deliberately ABA-broken naive-CAS strawman.
+//
+// Protocol: for every ll() the caller must eventually call exactly one of
+// sc() or cl() with the same keep. cl() ("cancel LL", Figure 7's CL) is a
+// no-op for the substrates that need no per-sequence resources; Figure 7
+// uses it to recycle the announcement slot of an abandoned sequence.
+#pragma once
+
+#include <atomic>
+#include <concepts>
+#include <cstdint>
+#include <mutex>
+#include <new>
+#include <utility>
+
+#include "core/llsc_composed.hpp"
+#include "core/llsc_from_cas.hpp"
+#include "core/llsc_from_rllrsc.hpp"
+#include "platform/fault.hpp"
+#include "platform/rll_rsc.hpp"
+#include "platform/yield_point.hpp"
+
+namespace moir {
+
+template <typename S>
+concept SmallLlscSubstrate =
+    requires(S s, typename S::ThreadCtx& ctx, typename S::Var& var,
+             typename S::Keep& keep, const typename S::Keep& ckeep,
+             std::uint64_t val) {
+      { s.ll(ctx, var, keep) } -> std::same_as<std::uint64_t>;
+      { s.vl(ctx, var, ckeep) } -> std::same_as<bool>;
+      { s.sc(ctx, var, ckeep, val) } -> std::same_as<bool>;
+      { s.cl(ctx, ckeep) };
+      { s.read(var) } -> std::same_as<std::uint64_t>;
+      { s.init_var(var, val) };
+      { s.max_value() } -> std::convertible_to<std::uint64_t>;
+      { s.name() } -> std::convertible_to<const char*>;
+    };
+
+// ---------------------------------------------------------------------------
+// Figure 4 as a substrate (CAS-backed, unbounded tag).
+// ---------------------------------------------------------------------------
+template <unsigned ValBits = kDefaultValBits>
+class CasBackedLlsc {
+  using Impl = LlscFromCas<ValBits>;
+
+ public:
+  using value_type = std::uint64_t;
+  using Var = typename Impl::Var;
+  using Keep = typename Impl::Keep;
+  struct ThreadCtx {};  // stateless: any number of concurrent sequences
+
+  static constexpr unsigned kValBits = ValBits;
+
+  ThreadCtx make_ctx() { return {}; }
+
+  void init_var(Var& var, value_type initial) {
+    var.~Var();
+    new (&var) Var(initial);
+  }
+
+  value_type ll(ThreadCtx&, const Var& var, Keep& keep) const {
+    return Impl::ll(var, keep);
+  }
+  bool vl(ThreadCtx&, const Var& var, const Keep& keep) const {
+    return Impl::vl(var, keep);
+  }
+  bool sc(ThreadCtx&, Var& var, const Keep& keep, value_type v) const {
+    return Impl::sc(var, keep, v);
+  }
+  void cl(ThreadCtx&, const Keep&) const {}
+
+  value_type read(const Var& var) const { return var.read(); }
+  value_type max_value() const { return Impl::Word::kMaxValue; }
+  const char* name() const { return "llsc-from-cas(fig4)"; }
+};
+
+// ---------------------------------------------------------------------------
+// Figure 5 as a substrate (RLL/RSC-backed, single tag).
+// ---------------------------------------------------------------------------
+template <unsigned ValBits = kDefaultValBits>
+class RllBackedLlsc {
+  using Impl = LlscFromRllRsc<ValBits>;
+
+ public:
+  using value_type = std::uint64_t;
+  using Var = typename Impl::Var;
+  using Keep = typename Impl::Keep;
+
+  // Each thread is one "processor" with a single hardware reservation. The
+  // algorithm still supports any number of concurrent LL-SC *sequences* per
+  // thread, because the reservation is only held inside sc()'s retry loop.
+  struct ThreadCtx {
+    explicit ThreadCtx(FaultInjector* faults) : proc(faults) {}
+    Processor proc;
+  };
+
+  static constexpr unsigned kValBits = ValBits;
+
+  explicit RllBackedLlsc(FaultInjector* faults = nullptr) : faults_(faults) {}
+
+  ThreadCtx make_ctx() { return ThreadCtx(faults_); }
+
+  void init_var(Var& var, value_type initial) {
+    var.~Var();
+    new (&var) Var(initial);
+  }
+
+  value_type ll(ThreadCtx&, const Var& var, Keep& keep) const {
+    return Impl::ll(var, keep);
+  }
+  bool vl(ThreadCtx&, const Var& var, const Keep& keep) const {
+    return Impl::vl(var, keep);
+  }
+  bool sc(ThreadCtx& ctx, Var& var, const Keep& keep, value_type v) const {
+    return Impl::sc(ctx.proc, var, keep, v);
+  }
+  void cl(ThreadCtx&, const Keep&) const {}
+
+  value_type read(const Var& var) const { return var.read(); }
+  value_type max_value() const { return Impl::Word::kMaxValue; }
+  const char* name() const { return "llsc-from-rllrsc(fig5)"; }
+
+ private:
+  FaultInjector* faults_;
+};
+
+// ---------------------------------------------------------------------------
+// The two-tag composition (Figure 4 over Figure 3) as a substrate — correct
+// but with a halved tag budget; see core/llsc_composed.hpp.
+// ---------------------------------------------------------------------------
+template <unsigned ValBits = kDefaultValBits>
+class ComposedBackedLlsc {
+  using Impl = LlscComposed<ValBits>;
+
+ public:
+  using value_type = std::uint64_t;
+  using Var = typename Impl::Var;
+  using Keep = typename Impl::Keep;
+
+  struct ThreadCtx {
+    explicit ThreadCtx(FaultInjector* faults) : proc(faults) {}
+    Processor proc;
+  };
+
+  static constexpr unsigned kValBits = ValBits;
+
+  explicit ComposedBackedLlsc(FaultInjector* faults = nullptr)
+      : faults_(faults) {}
+
+  ThreadCtx make_ctx() { return ThreadCtx(faults_); }
+
+  void init_var(Var& var, value_type initial) {
+    var.~Var();
+    new (&var) Var(initial);
+  }
+
+  value_type ll(ThreadCtx&, const Var& var, Keep& keep) const {
+    return Impl::ll(var, keep);
+  }
+  bool vl(ThreadCtx&, const Var& var, const Keep& keep) const {
+    return Impl::vl(var, keep);
+  }
+  bool sc(ThreadCtx& ctx, Var& var, const Keep& keep, value_type v) const {
+    return Impl::sc(ctx.proc, var, keep, v);
+  }
+  void cl(ThreadCtx&, const Keep&) const {}
+
+  value_type read(const Var& var) const { return Impl::read(var); }
+  value_type max_value() const { return Impl::kMaxValue; }
+  const char* name() const { return "llsc-composed(fig4-over-fig3)"; }
+
+ private:
+  FaultInjector* faults_;
+};
+
+// ---------------------------------------------------------------------------
+// Baseline: LL/SC from a per-variable lock (the paper's footnote 1 — "this
+// defeats the purpose of the non-blocking algorithms that use them").
+// Benchmarks use it to show what the emulations buy.
+// ---------------------------------------------------------------------------
+template <unsigned ValBits = kDefaultValBits>
+class LockBackedLlsc {
+ public:
+  using value_type = std::uint64_t;
+
+  struct Keep {
+    std::uint64_t seq = 0;
+  };
+
+  class Var {
+   public:
+    Var() = default;
+
+   private:
+    friend class LockBackedLlsc;
+    mutable std::mutex mutex_;
+    std::uint64_t value_ = 0;
+    std::uint64_t seq_ = 0;  // bumped by every successful SC
+  };
+
+  struct ThreadCtx {};
+
+  static constexpr unsigned kValBits = ValBits;
+
+  ThreadCtx make_ctx() { return {}; }
+
+  void init_var(Var& var, value_type initial) {
+    std::lock_guard<std::mutex> g(var.mutex_);
+    var.value_ = initial;
+    var.seq_ = 0;
+  }
+
+  value_type ll(ThreadCtx&, const Var& var, Keep& keep) const {
+    std::lock_guard<std::mutex> g(var.mutex_);
+    keep.seq = var.seq_;
+    return var.value_;
+  }
+
+  bool vl(ThreadCtx&, const Var& var, const Keep& keep) const {
+    std::lock_guard<std::mutex> g(var.mutex_);
+    return var.seq_ == keep.seq;
+  }
+
+  bool sc(ThreadCtx&, Var& var, const Keep& keep, value_type v) const {
+    std::lock_guard<std::mutex> g(var.mutex_);
+    if (var.seq_ != keep.seq) return false;
+    var.value_ = v;
+    ++var.seq_;
+    return true;
+  }
+
+  void cl(ThreadCtx&, const Keep&) const {}
+
+  value_type read(const Var& var) const {
+    std::lock_guard<std::mutex> g(var.mutex_);
+    return var.value_;
+  }
+
+  value_type max_value() const { return low_mask(ValBits); }
+  const char* name() const { return "llsc-from-lock(baseline)"; }
+};
+
+// ---------------------------------------------------------------------------
+// Strawman: LL = load, SC = one value-only CAS, no tag. This is what a
+// designer might naively write; it is ABA-unsafe, and
+// tests/test_aba.cpp demonstrates the resulting lost-update on it while the
+// paper's constructions pass. Useful in benches as the "raw CAS cost" floor.
+// ---------------------------------------------------------------------------
+template <unsigned ValBits = kDefaultValBits>
+class NaiveCasLlsc {
+ public:
+  using value_type = std::uint64_t;
+
+  struct Keep {
+    std::uint64_t value = 0;
+  };
+
+  class Var {
+   public:
+    Var() : word_(0) {}
+
+   private:
+    friend class NaiveCasLlsc;
+    std::atomic<std::uint64_t> word_;
+  };
+
+  struct ThreadCtx {};
+
+  static constexpr unsigned kValBits = ValBits;
+
+  ThreadCtx make_ctx() { return {}; }
+
+  void init_var(Var& var, value_type initial) {
+    var.word_.store(initial, std::memory_order_seq_cst);
+  }
+
+  value_type ll(ThreadCtx&, const Var& var, Keep& keep) const {
+    keep.value = var.word_.load(std::memory_order_seq_cst);
+    MOIR_YIELD_POINT();
+    return keep.value;
+  }
+
+  bool vl(ThreadCtx&, const Var& var, const Keep& keep) const {
+    return var.word_.load(std::memory_order_seq_cst) == keep.value;
+  }
+
+  bool sc(ThreadCtx&, Var& var, const Keep& keep, value_type v) const {
+    MOIR_YIELD_POINT();
+    std::uint64_t expected = keep.value;
+    return var.word_.compare_exchange_strong(expected, v,
+                                             std::memory_order_seq_cst);
+  }
+
+  void cl(ThreadCtx&, const Keep&) const {}
+
+  value_type read(const Var& var) const {
+    return var.word_.load(std::memory_order_seq_cst);
+  }
+
+  value_type max_value() const { return low_mask(ValBits); }
+  const char* name() const { return "naive-cas(aba-unsafe)"; }
+};
+
+}  // namespace moir

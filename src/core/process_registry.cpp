@@ -1,0 +1,24 @@
+#include "core/process_registry.hpp"
+
+#include "util/assertion.hpp"
+
+namespace moir {
+
+unsigned ProcessRegistry::register_process() {
+  const unsigned id = next_.fetch_add(1, std::memory_order_relaxed);
+  MOIR_ASSERT_MSG(id < max_processes_,
+                  "more threads registered than the registry was sized for");
+  return id;
+}
+
+unsigned this_process_id(ProcessRegistry& registry) {
+  thread_local ProcessRegistry* bound = nullptr;
+  thread_local unsigned id = 0;
+  if (bound != &registry) {
+    bound = &registry;
+    id = registry.register_process();
+  }
+  return id;
+}
+
+}  // namespace moir

@@ -1,0 +1,38 @@
+// Process identity. The paper's algorithms are written "for process p" with
+// p in 0..N-1; Figures 6 and 7 embed p in shared words and index shared
+// arrays with it. A ProcessRegistry hands out dense ids to threads.
+//
+// Ids are explicit (passed to the algorithms) rather than hidden in
+// thread-local state so that a single test thread can play several
+// "processes" when exercising interleavings deterministically.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace moir {
+
+class ProcessRegistry {
+ public:
+  explicit ProcessRegistry(unsigned max_processes)
+      : max_processes_(max_processes) {}
+
+  // Assigns the next free id. Aborts if more than max_processes register:
+  // the shared arrays sized N cannot accommodate an N+1th process, and
+  // failing loudly beats corrupting them.
+  unsigned register_process();
+
+  unsigned max_processes() const { return max_processes_; }
+  unsigned registered() const {
+    return next_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const unsigned max_processes_;
+  std::atomic<unsigned> next_{0};
+};
+
+// Convenience: a thread-local id bound to a registry on first use.
+unsigned this_process_id(ProcessRegistry& registry);
+
+}  // namespace moir

@@ -1,0 +1,83 @@
+// Figure 7's private tag queue Q.
+//
+// Each process owns a queue that always contains a permutation of all
+// 2Nk+1 tag values. The algorithm performs three queue operations per SC,
+// all of which must be O(1) for Theorem 5's constant-time claim:
+//   * delete(Q, t) + enqueue(Q, t)  — move an announced tag to the back;
+//   * dequeue(Q) + enqueue(Q, t)    — rotate, yielding the next tag to use.
+// As the paper notes, a doubly-linked list plus a static index table giving
+// each tag's node makes delete-by-value constant time. Since the value set
+// is exactly 0..capacity-1 and membership is invariant, the "nodes" are two
+// plain arrays (next/prev indexed by tag) — no allocation, no pointers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/assertion.hpp"
+
+namespace moir {
+
+class TagQueue {
+ public:
+  // Queue over values 0..capacity-1, initially in ascending order.
+  explicit TagQueue(std::uint32_t capacity)
+      : next_(capacity), prev_(capacity), head_(0), tail_(capacity - 1) {
+    MOIR_ASSERT(capacity >= 2);
+    for (std::uint32_t t = 0; t < capacity; ++t) {
+      next_[t] = t + 1 == capacity ? kNil : t + 1;
+      prev_[t] = t == 0 ? kNil : t - 1;
+    }
+  }
+
+  std::uint32_t capacity() const {
+    return static_cast<std::uint32_t>(next_.size());
+  }
+
+  std::uint32_t front() const { return head_; }
+
+  // delete(Q, t); enqueue(Q, t) — move t to the back. O(1).
+  void move_to_back(std::uint32_t t) {
+    MOIR_ASSERT(t < capacity());
+    if (tail_ == t) return;
+    // unlink
+    const std::uint32_t p = prev_[t];
+    const std::uint32_t n = next_[t];
+    if (p == kNil) {
+      head_ = n;
+    } else {
+      next_[p] = n;
+    }
+    prev_[n] = p;  // n != kNil because t != tail_
+    // append
+    next_[tail_] = t;
+    prev_[t] = tail_;
+    next_[t] = kNil;
+    tail_ = t;
+  }
+
+  // t := dequeue(Q); enqueue(Q, t); return t — rotate. O(1).
+  std::uint32_t rotate() {
+    const std::uint32_t t = head_;
+    move_to_back(t);
+    return t;
+  }
+
+  // Test support: the queue contents front-to-back. O(capacity).
+  std::vector<std::uint32_t> snapshot() const {
+    std::vector<std::uint32_t> out;
+    out.reserve(capacity());
+    for (std::uint32_t t = head_; t != kNil; t = next_[t]) out.push_back(t);
+    return out;
+  }
+
+ private:
+  static constexpr std::uint32_t kNil = ~std::uint32_t{0};
+
+  std::vector<std::uint32_t> next_;
+  std::vector<std::uint32_t> prev_;
+  std::uint32_t head_;
+  std::uint32_t tail_;
+};
+
+}  // namespace moir

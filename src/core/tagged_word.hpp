@@ -1,0 +1,65 @@
+// TaggedWord: the paper's `wordtype = record tag: tagtype; val: valtype end`.
+//
+// The one-word algorithms (Figures 3-5) store a modification tag and the
+// application value together in one machine word. The split is the
+// trade-off the paper discusses in Section 1: more tag bits push the
+// wraparound horizon out (48 tag bits ~= nine years at 10^6 writes/s), fewer
+// tag bits leave more room for data. ValBits is a template parameter so the
+// whole library — and bench_wraparound, which deliberately provokes
+// wraparound with tiny tags — can explore the trade-off.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+#include "util/assertion.hpp"
+#include "util/bits.hpp"
+
+namespace moir {
+
+template <unsigned ValBits>
+class TaggedWord {
+  static_assert(ValBits >= 1 && ValBits <= 63,
+                "value field must leave at least one tag bit");
+
+ public:
+  static constexpr unsigned kValBits = ValBits;
+  static constexpr unsigned kTagBits = 64 - ValBits;
+  static constexpr std::uint64_t kMaxValue = low_mask(ValBits);
+  static constexpr std::uint64_t kMaxTag = low_mask(kTagBits);
+
+  using value_type = std::uint64_t;
+
+  constexpr TaggedWord() = default;
+
+  static constexpr TaggedWord make(std::uint64_t tag, std::uint64_t val) {
+    MOIR_ASSERT_MSG(val <= kMaxValue, "value does not fit the value field");
+    return TaggedWord((((tag & kMaxTag) << ValBits) | val));
+  }
+
+  static constexpr TaggedWord from_raw(std::uint64_t raw) {
+    return TaggedWord(raw);
+  }
+
+  constexpr std::uint64_t raw() const { return raw_; }
+  constexpr std::uint64_t tag() const { return raw_ >> ValBits; }
+  constexpr std::uint64_t value() const { return raw_ & kMaxValue; }
+
+  // (tag oplus 1, newval) — the word every successful SC/CAS installs.
+  constexpr TaggedWord successor(std::uint64_t newval) const {
+    return make(add_mod_pow2(tag(), 1, kTagBits), newval);
+  }
+
+  friend constexpr bool operator==(TaggedWord, TaggedWord) = default;
+
+ private:
+  explicit constexpr TaggedWord(std::uint64_t raw) : raw_(raw) {}
+
+  std::uint64_t raw_ = 0;
+};
+
+// The library-wide default split, following the paper's 64-bit example:
+// 48-bit tag, 16-bit value.
+inline constexpr unsigned kDefaultValBits = 16;
+
+}  // namespace moir

@@ -1,0 +1,85 @@
+// Encoding arbitrary values into the chunk arrays used by WideLlsc.
+//
+// A W-segment variable carries kChunkBits of payload per segment (the rest
+// of each word is tag). This codec treats the payload as a little-endian
+// bit stream: chunk i holds bits [i*C, (i+1)*C) of the byte image of the
+// value. That lets callers pick W = chunks_needed(sizeof(T), C) and store
+// any trivially-copyable T — the paper's answer to "some applications may
+// need to store data values that exceed the size of one machine word".
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "util/assertion.hpp"
+#include "util/bits.hpp"
+
+namespace moir {
+
+// Number of chunks of `chunk_bits` needed to carry `bytes` bytes.
+constexpr std::size_t chunks_needed(std::size_t bytes, unsigned chunk_bits) {
+  return (bytes * 8 + chunk_bits - 1) / chunk_bits;
+}
+
+// Encode `bytes` into `chunks` (each receiving `chunk_bits` payload bits).
+inline void encode_bytes(std::span<const std::byte> bytes,
+                         std::span<std::uint64_t> chunks,
+                         unsigned chunk_bits) {
+  MOIR_ASSERT(chunk_bits >= 1 && chunk_bits <= 64);
+  MOIR_ASSERT(chunks.size() >= chunks_needed(bytes.size(), chunk_bits));
+  for (auto& c : chunks) c = 0;
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    const auto b = static_cast<std::uint64_t>(bytes[i]);
+    for (unsigned bit = 0; bit < 8; ++bit) {
+      if ((b >> bit & 1) == 0) continue;
+      const std::size_t pos = i * 8 + bit;
+      chunks[pos / chunk_bits] |= std::uint64_t{1} << (pos % chunk_bits);
+    }
+  }
+}
+
+// Decode `chunks` back into `bytes` (inverse of encode_bytes).
+inline void decode_bytes(std::span<const std::uint64_t> chunks,
+                         std::span<std::byte> bytes, unsigned chunk_bits) {
+  MOIR_ASSERT(chunk_bits >= 1 && chunk_bits <= 64);
+  MOIR_ASSERT(chunks.size() >= chunks_needed(bytes.size(), chunk_bits));
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    std::uint64_t b = 0;
+    for (unsigned bit = 0; bit < 8; ++bit) {
+      const std::size_t pos = i * 8 + bit;
+      if ((chunks[pos / chunk_bits] >> (pos % chunk_bits) & 1) != 0) {
+        b |= std::uint64_t{1} << bit;
+      }
+    }
+    bytes[i] = static_cast<std::byte>(b);
+  }
+}
+
+template <typename T>
+concept WideStorable = std::is_trivially_copyable_v<T>;
+
+// Encode a trivially-copyable value; `chunks` must have at least
+// chunks_needed(sizeof(T), chunk_bits) elements.
+template <WideStorable T>
+void encode_value(const T& value, std::span<std::uint64_t> chunks,
+                  unsigned chunk_bits) {
+  std::byte image[sizeof(T)];
+  std::memcpy(image, &value, sizeof(T));
+  encode_bytes(std::span<const std::byte>(image, sizeof(T)), chunks,
+               chunk_bits);
+}
+
+template <WideStorable T>
+T decode_value(std::span<const std::uint64_t> chunks, unsigned chunk_bits) {
+  std::byte image[sizeof(T)];
+  decode_bytes(chunks, std::span<std::byte>(image, sizeof(T)), chunk_bits);
+  T value;
+  std::memcpy(&value, image, sizeof(T));
+  return value;
+}
+
+}  // namespace moir

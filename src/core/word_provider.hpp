@@ -1,0 +1,122 @@
+// Word providers: the CAS-able machine word abstracted.
+//
+// Figures 6 and 7 are presented in the paper in terms of CAS "for
+// simplicity of presentation", with the remark that "in each case, the
+// technique in Figure 3 can be used to acquire the same result using RLL
+// and RSC". This header makes that remark executable: WideLlsc and
+// BoundedLlsc are templated over a WordProvider, and instantiating them
+// with RllRscWordProvider yields the Theorem 4/5 constructions for
+// machines that have only restricted LL/SC.
+//
+// The RLL/RSC-backed CAS here is Figure 3's retry loop WITHOUT the extra
+// tag of Figure 3 proper: those algorithms' words already embed their own
+// freshness information (Figure 6's header/segment tags, Figure 7's
+// {tag, cnt, pid} triple), so equality of the full word already implies
+// "unchanged" to exactly the degree each proof requires.
+#pragma once
+
+#include <atomic>
+#include <concepts>
+#include <cstdint>
+
+#include "platform/dwcas.hpp"
+#include "platform/fault.hpp"
+#include "platform/rll_rsc.hpp"
+#include "platform/yield_point.hpp"
+
+namespace moir {
+
+template <typename P>
+concept WordProvider =
+    requires(P p, typename P::Word& w, typename P::Ctx& ctx,
+             std::uint64_t v, std::uint64_t& expected) {
+      { w.load() } -> std::same_as<std::uint64_t>;
+      { w.init(v) };
+      { w.cas(ctx, expected, v) } -> std::same_as<bool>;
+      { p.make_ctx() } -> std::same_as<typename P::Ctx>;
+      { p.name() } -> std::convertible_to<const char*>;
+    };
+
+// Hardware CAS (std::atomic). The default provider.
+class NativeWordProvider {
+ public:
+  struct Ctx {};
+
+  class Word {
+   public:
+    Word() = default;
+    Word(const Word&) = delete;
+    Word& operator=(const Word&) = delete;
+
+    std::uint64_t load() const {
+      return word_.load(std::memory_order_seq_cst);
+    }
+
+    // Initialization only: not atomic with respect to concurrent CASes.
+    void init(std::uint64_t v) {
+      word_.store(v, std::memory_order_seq_cst);
+    }
+
+    // On failure, `expected` receives the observed value (as std::atomic).
+    bool cas(Ctx&, std::uint64_t& expected, std::uint64_t desired) {
+      return word_.compare_exchange_strong(expected, desired,
+                                           std::memory_order_seq_cst);
+    }
+
+   private:
+    std::atomic<std::uint64_t> word_{0};
+  };
+
+  Ctx make_ctx() { return {}; }
+  const char* name() const { return "native-cas"; }
+};
+
+// CAS emulated from RLL/RSC via Figure 3's loop. Wait-free provided only
+// finitely many spurious failures occur during one CAS.
+class RllRscWordProvider {
+ public:
+  explicit RllRscWordProvider(FaultInjector* faults = nullptr)
+      : faults_(faults) {}
+
+  struct Ctx {
+    explicit Ctx(FaultInjector* faults) : proc(faults) {}
+    Processor proc;
+  };
+
+  class Word {
+   public:
+    Word() = default;
+    Word(const Word&) = delete;
+    Word& operator=(const Word&) = delete;
+
+    std::uint64_t load() const { return word_.read(); }
+
+    void init(std::uint64_t v) { word_.reset_for_init(v); }
+
+    bool cas(Ctx& ctx, std::uint64_t& expected, std::uint64_t desired) {
+      for (;;) {
+        MOIR_YIELD_POINT();
+        const std::uint64_t cur = ctx.proc.rll(word_);   // Figure 3 line 5
+        if (cur != expected) {
+          expected = cur;
+          return false;
+        }
+        if (ctx.proc.rsc(word_, desired)) return true;   // Figure 3 line 6
+      }
+    }
+
+   private:
+    RllWord word_;
+  };
+
+  Ctx make_ctx() { return Ctx(faults_); }
+  const char* name() const { return "rllrsc-cas(fig3)"; }
+
+ private:
+  FaultInjector* faults_;
+};
+
+static_assert(WordProvider<NativeWordProvider>);
+static_assert(WordProvider<RllRscWordProvider>);
+
+}  // namespace moir

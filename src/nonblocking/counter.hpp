@@ -1,0 +1,56 @@
+// Lock-free fetch-and-Φ over any small LL/VL/SC substrate.
+//
+// The simplest consumer of the paper's primitives: read-modify-write of one
+// word. The LL/SC retry loop is lock-free (an SC fails only because another
+// SC succeeded), and the same code runs on every substrate — which is the
+// paper's portability thesis in one screen of code.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <utility>
+
+#include "core/llsc_traits.hpp"
+
+namespace moir {
+
+template <SmallLlscSubstrate S>
+class LlscCounter {
+ public:
+  using value_type = typename S::value_type;
+  using ThreadCtx = typename S::ThreadCtx;
+
+  explicit LlscCounter(S& substrate, value_type initial = 0)
+      : substrate_(substrate) {
+    substrate_.init_var(var_, initial);
+  }
+
+  // Applies `f` to the current value atomically; returns {old, new}.
+  // `f` may run several times under contention and must be side-effect
+  // free. Values are truncated to the substrate's value width.
+  template <std::invocable<value_type> F>
+  std::pair<value_type, value_type> fetch_modify(ThreadCtx& ctx, F&& f) {
+    for (;;) {
+      typename S::Keep keep;
+      const value_type old = substrate_.ll(ctx, var_, keep);
+      const value_type next = f(old) & substrate_.max_value();
+      if (substrate_.sc(ctx, var_, keep, next)) return {old, next};
+    }
+  }
+
+  value_type increment(ThreadCtx& ctx, value_type by = 1) {
+    return fetch_modify(ctx, [by](value_type v) { return v + by; }).second;
+  }
+
+  value_type decrement(ThreadCtx& ctx, value_type by = 1) {
+    return fetch_modify(ctx, [by](value_type v) { return v - by; }).second;
+  }
+
+  value_type read() const { return substrate_.read(var_); }
+
+ private:
+  S& substrate_;
+  typename S::Var var_;
+};
+
+}  // namespace moir

@@ -1,0 +1,161 @@
+// Michael–Scott-style lock-free FIFO queue over small LL/VL/SC.
+//
+// This is the kind of published algorithm the paper's introduction is
+// about: it needs LL/SC on *several* variables with sequences interleaved
+// (head, tail, and a node's next link are live at once), which RLL/RSC
+// cannot express — and which the paper's constructions restore.
+//
+// Nodes live in a bounded pool and are recycled through a lock-free free
+// list. Recycling is safe without hazard pointers or epochs precisely
+// because every link mutation goes through SC: a stale SC against a
+// recycled node's next field fails (the field's tag advanced when the new
+// owner reset it). On Figure 7 the announcement check plays the same role
+// with bounded tags. Each operation keeps up to three LL-SC sequences
+// alive, so Figure 7 substrates need k >= 3.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "core/llsc_traits.hpp"
+#include "nonblocking/treiber_stack.hpp"
+#include "util/assertion.hpp"
+
+namespace moir {
+
+template <SmallLlscSubstrate S>
+class MsQueue {
+ public:
+  using ThreadCtx = typename S::ThreadCtx;
+
+  // Capacity is the number of pool nodes; one is permanently consumed as
+  // the dummy, so at most capacity-1 values can be queued. `init_ctx` seeds
+  // the free list and dummy (see TreiberStack for why it is a parameter).
+  MsQueue(S& substrate, std::uint32_t capacity, ThreadCtx& init_ctx)
+      : substrate_(substrate),
+        capacity_(capacity),
+        null_(capacity),
+        next_(std::make_unique<typename S::Var[]>(capacity)),
+        payload_(std::make_unique<std::atomic<std::uint64_t>[]>(capacity)),
+        free_links_(std::make_unique<std::atomic<std::uint32_t>[]>(capacity)),
+        free_(substrate, free_links_.get(), capacity) {
+    MOIR_ASSERT_MSG(capacity >= 2, "need at least a dummy and one value");
+    MOIR_ASSERT_MSG(capacity < substrate.max_value(),
+                    "node indices must fit the substrate's value field");
+    for (std::uint32_t i = 0; i < capacity; ++i) {
+      substrate_.init_var(next_[i], null_);
+    }
+    // Node 0 is the initial dummy; the rest seed the free list.
+    substrate_.init_var(head_, 0);
+    substrate_.init_var(tail_, 0);
+    for (std::uint32_t i = 1; i < capacity; ++i) free_.push(init_ctx, i);
+  }
+
+  // Returns false when the node pool is exhausted.
+  bool enqueue(ThreadCtx& ctx, std::uint64_t value) {
+    const auto node = free_.pop(ctx);
+    if (!node) return false;
+    payload_[*node].store(value, std::memory_order_relaxed);
+    reset_next(ctx, *node);
+
+    for (;;) {
+      typename S::Keep kt, kn;
+      const std::uint64_t t = substrate_.ll(ctx, tail_, kt);
+      const std::uint64_t n = substrate_.ll(ctx, next_[t], kn);
+      if (!substrate_.vl(ctx, tail_, kt)) {
+        // t may no longer be the tail (and may even be recycled); the next
+        // we read is then meaningless.
+        substrate_.cl(ctx, kn);
+        substrate_.cl(ctx, kt);
+        continue;
+      }
+      if (n != null_) {
+        // Tail is lagging: help swing it, then retry.
+        substrate_.sc(ctx, tail_, kt, n);
+        substrate_.cl(ctx, kn);
+        continue;
+      }
+      if (substrate_.sc(ctx, next_[t], kn, *node)) {  // linearization point
+        substrate_.sc(ctx, tail_, kt, *node);  // swing; failure is benign
+        return true;
+      }
+      substrate_.cl(ctx, kt);
+    }
+  }
+
+  std::optional<std::uint64_t> dequeue(ThreadCtx& ctx) {
+    for (;;) {
+      typename S::Keep kh, kt, kn;
+      const std::uint64_t h = substrate_.ll(ctx, head_, kh);
+      const std::uint64_t t = substrate_.ll(ctx, tail_, kt);
+      const std::uint64_t n = substrate_.ll(ctx, next_[h], kn);
+      if (!substrate_.vl(ctx, head_, kh)) {
+        substrate_.cl(ctx, kn);
+        substrate_.cl(ctx, kt);
+        substrate_.cl(ctx, kh);
+        continue;
+      }
+      if (h == t) {
+        if (n == null_) {
+          substrate_.cl(ctx, kn);
+          substrate_.cl(ctx, kt);
+          substrate_.cl(ctx, kh);
+          return std::nullopt;  // empty
+        }
+        // Tail lags behind an in-flight enqueue: help swing it.
+        substrate_.sc(ctx, tail_, kt, n);
+        substrate_.cl(ctx, kn);
+        substrate_.cl(ctx, kh);
+        continue;
+      }
+      if (n == null_) {
+        // Transient inconsistency (h moved between our loads); retry.
+        substrate_.cl(ctx, kn);
+        substrate_.cl(ctx, kt);
+        substrate_.cl(ctx, kh);
+        continue;
+      }
+      // Read the value before the SC: after it, n is the new dummy and h
+      // may be recycled by another dequeuer at any time.
+      const std::uint64_t value =
+          payload_[n].load(std::memory_order_relaxed);
+      if (substrate_.sc(ctx, head_, kh, n)) {
+        substrate_.cl(ctx, kt);
+        substrate_.cl(ctx, kn);
+        free_.push(ctx, static_cast<std::uint32_t>(h));
+        return value;
+      }
+      substrate_.cl(ctx, kt);
+      substrate_.cl(ctx, kn);
+    }
+  }
+
+  bool empty() const {
+    return substrate_.read(head_) == substrate_.read(tail_);
+  }
+
+ private:
+  // Re-initialize a freshly-allocated node's next to null THROUGH the LL/SC
+  // protocol, so its tag keeps advancing across recycles; a plain reset
+  // would reintroduce ABA.
+  void reset_next(ThreadCtx& ctx, std::uint32_t node) {
+    for (;;) {
+      typename S::Keep keep;
+      substrate_.ll(ctx, next_[node], keep);
+      if (substrate_.sc(ctx, next_[node], keep, null_)) return;
+    }
+  }
+
+  S& substrate_;
+  const std::uint32_t capacity_;
+  const std::uint64_t null_;
+  typename S::Var head_;
+  typename S::Var tail_;
+  std::unique_ptr<typename S::Var[]> next_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> payload_;
+  std::unique_ptr<std::atomic<std::uint32_t>[]> free_links_;
+  IndexStack<S> free_;
+};
+
+}  // namespace moir

@@ -1,0 +1,364 @@
+// Static software transactional memory over the paper's LL/VL/SC.
+//
+// Section 5 of the paper argues, against Greenwald & Cheriton, that
+// software transactional memory [Shavit–Touitou, PODC'95] *can* be hosted
+// on existing machines because the primitives it needs can be emulated —
+// this module is that claim made executable. It is a static STM in the
+// ST sense: a transaction declares its (sorted) data set up front and its
+// body is a deterministic function of the values read, so any process can
+// re-execute it on the owner's behalf.
+//
+// Design (ST/Barnes-style cooperative two-phase locking with helping):
+//  * Memory is an array of cells, each a Figure-4 LL/VL/SC variable whose
+//    31-bit payload is either a value or a lock record {owner pid, seq}.
+//  * Each process owns one transaction descriptor, reused across
+//    transactions and versioned by `seq`. All mutations of cells are SCs
+//    whose expected word embeds the substrate tag, so stale helpers can
+//    never corrupt a cell (their SCs fail).
+//  * Acquisition is in ascending address order, which rules out help
+//    cycles; a process blocked by a lock helps the lock's owner to
+//    completion, making the construction lock-free: every retry or abort
+//    is caused by another transaction's successful step.
+//  * Each cell's pre-lock value is recorded in the descriptor by a
+//    seq-tagged claim-once slot BEFORE the lock is taken, so all helpers
+//    agree on the read set and an orphaned lock can never be created.
+//  * Descriptor reuse is made safe by a helper count: help() registers
+//    itself and revalidates seq, and a process starting a new transaction
+//    first bumps seq (turning away new helpers) and waits for registered
+//    helpers to drain. This wait is bounded — a registered helper finishes
+//    its sweep in O(set size) of its own steps — and is the one place the
+//    construction trades pure lock-freedom for descriptor reuse, as
+//    documented in DESIGN.md.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "core/llsc_from_cas.hpp"
+#include "core/process_registry.hpp"
+#include "platform/yield_point.hpp"
+#include "util/assertion.hpp"
+#include "util/cache.hpp"
+
+namespace moir {
+
+class Stm {
+ public:
+  // Transaction body: news[i] := f(olds) for each declared cell, computed
+  // deterministically from olds and arg only. Values are 31-bit.
+  using TxOp = void (*)(const std::uint64_t* olds, std::uint64_t* news,
+                        unsigned n, std::uint64_t arg);
+
+  static constexpr unsigned kMaxTxCells = 8;
+  static constexpr std::uint64_t kMaxValue = (1u << 31) - 1;
+
+  struct ThreadCtx {
+    unsigned pid = 0;
+  };
+
+  Stm(unsigned n_processes, std::size_t n_cells)
+      : n_(n_processes), cells_(n_cells), desc_(n_processes),
+        registry_(n_processes) {
+    MOIR_ASSERT(n_processes >= 1 && n_processes <= 256);
+    // cells_ value-initialized all cells to 0 already.
+  }
+
+  ThreadCtx make_ctx() { return ThreadCtx{registry_.register_process()}; }
+
+  std::size_t size() const { return cells_.size(); }
+
+  // Non-transactional initialization (before concurrent use only).
+  void set_initial(std::size_t cell, std::uint64_t value) {
+    MOIR_ASSERT(value <= kMaxValue);
+    Cells::Var tmp(value);
+    // Vars are not assignable; re-init in place through the substrate.
+    cells_[cell].~Var();
+    new (&cells_[cell]) Cells::Var(value);
+  }
+
+  struct TxResult {
+    bool committed = false;
+    unsigned aborts = 0;  // failed attempts before the commit
+    std::uint64_t olds[kMaxTxCells] = {};
+  };
+
+  // Runs the transaction to commitment, retrying aborted attempts.
+  // `addrs` must be sorted, duplicate-free cell indices.
+  TxResult transact(ThreadCtx& ctx, std::span<const std::uint32_t> addrs,
+                    TxOp op, std::uint64_t arg) {
+    TxResult result;
+    while (!try_transact(ctx, addrs, op, arg, result)) {
+      ++result.aborts;
+      MOIR_YIELD_POINT();
+    }
+    result.committed = true;
+    return result;
+  }
+
+  // Single attempt; returns false on abort (a concurrent conflict).
+  bool try_transact(ThreadCtx& ctx, std::span<const std::uint32_t> addrs,
+                    TxOp op, std::uint64_t arg, TxResult& result) {
+    MOIR_ASSERT(addrs.size() >= 1 && addrs.size() <= kMaxTxCells);
+    for (std::size_t i = 0; i + 1 < addrs.size(); ++i) {
+      MOIR_ASSERT_MSG(addrs[i] < addrs[i + 1],
+                      "transaction data set must be sorted and unique");
+    }
+    MOIR_ASSERT(addrs.back() < cells_.size());
+
+    Descriptor& d = *desc_[ctx.pid];
+    // Turn away new helpers, then wait for registered ones to drain.
+    const std::uint32_t seq =
+        d.seq.fetch_add(1, std::memory_order_seq_cst) + 1;
+    while (d.helpers.load(std::memory_order_seq_cst) != 0) {
+      std::this_thread::yield();
+    }
+    // Reset the descriptor for this incarnation. Safe: no helper is
+    // registered and none can register for the old seq anymore.
+    d.n.store(static_cast<std::uint32_t>(addrs.size()),
+              std::memory_order_relaxed);
+    for (std::size_t i = 0; i < addrs.size(); ++i) {
+      d.addrs[i].store(addrs[i], std::memory_order_relaxed);
+      d.old[i].store(OldSlot::unset(seq), std::memory_order_relaxed);
+    }
+    d.op.store(op, std::memory_order_relaxed);
+    d.arg.store(arg, std::memory_order_relaxed);
+    d.status.store(Status::make(seq, Status::kActive),
+                   std::memory_order_seq_cst);
+
+    run_phases(d, ctx.pid, seq, /*depth=*/0);
+
+    const std::uint64_t st = d.status.load(std::memory_order_seq_cst);
+    if (Status::state(st) != Status::kCommitted) {
+      aborts_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    commits_.fetch_add(1, std::memory_order_relaxed);
+    const unsigned n = d.n.load(std::memory_order_relaxed);
+    for (unsigned i = 0; i < n; ++i) {
+      result.olds[i] =
+          OldSlot::value(d.old[i].load(std::memory_order_relaxed));
+    }
+    return true;
+  }
+
+  // Transactional read of one cell (helps out in-flight writers).
+  std::uint64_t read(ThreadCtx&, std::size_t cell) {
+    for (;;) {
+      Cells::Keep keep;
+      const std::uint64_t v = Cells::ll(cells_[cell], keep);
+      if (!is_locked(v)) return v;
+      help(lock_pid(v), lock_seq23(v), /*depth=*/0);
+    }
+  }
+
+  // Diagnostics for tests: true if any cell is currently locked.
+  bool any_cell_locked() {
+    for (auto& c : cells_) {
+      Cells::Keep keep;
+      if (is_locked(Cells::ll(c, keep))) return true;
+    }
+    return false;
+  }
+
+  struct Stats {
+    std::uint64_t commits = 0;
+    std::uint64_t aborts = 0;
+    std::uint64_t helps = 0;  // times one process drove another's txn
+  };
+
+  Stats stats() const {
+    return Stats{commits_.load(std::memory_order_relaxed),
+                 aborts_.load(std::memory_order_relaxed),
+                 helps_.load(std::memory_order_relaxed)};
+  }
+
+ private:
+  using Cells = LlscFromCas<32>;
+
+  // --- cell payload encoding (31-bit values / lock records) --------------
+  static constexpr std::uint64_t kLockBit = 1u << 31;
+  static bool is_locked(std::uint64_t v) { return (v & kLockBit) != 0; }
+  static std::uint64_t lock_word(unsigned pid, std::uint32_t seq) {
+    return kLockBit | (static_cast<std::uint64_t>(pid & 0xff) << 23) |
+           (seq & ((1u << 23) - 1));
+  }
+  static unsigned lock_pid(std::uint64_t v) {
+    return static_cast<unsigned>((v >> 23) & 0xff);
+  }
+  static std::uint32_t lock_seq23(std::uint64_t v) {
+    return static_cast<std::uint32_t>(v & ((1u << 23) - 1));
+  }
+
+  // --- descriptor field encodings ----------------------------------------
+  struct Status {
+    static constexpr std::uint64_t kActive = 0;
+    static constexpr std::uint64_t kCommitted = 1;
+    static constexpr std::uint64_t kAborted = 2;
+    static std::uint64_t make(std::uint32_t seq, std::uint64_t state) {
+      return (static_cast<std::uint64_t>(seq) << 2) | state;
+    }
+    static std::uint32_t seq(std::uint64_t w) {
+      return static_cast<std::uint32_t>(w >> 2);
+    }
+    static std::uint64_t state(std::uint64_t w) { return w & 3; }
+  };
+
+  struct OldSlot {
+    static std::uint64_t unset(std::uint32_t seq) {
+      return static_cast<std::uint64_t>(seq) << 32;
+    }
+    static std::uint64_t set(std::uint32_t seq, std::uint64_t value) {
+      return (static_cast<std::uint64_t>(seq) << 32) | (1u << 31) | value;
+    }
+    static bool is_set(std::uint64_t w) { return (w & (1u << 31)) != 0; }
+    static std::uint32_t seq(std::uint64_t w) {
+      return static_cast<std::uint32_t>(w >> 32);
+    }
+    static std::uint64_t value(std::uint64_t w) { return w & kMaxValue; }
+  };
+
+  struct Descriptor {
+    std::atomic<std::uint32_t> seq{0};
+    std::atomic<std::uint32_t> helpers{0};
+    std::atomic<std::uint64_t> status{Status::make(0, Status::kCommitted)};
+    std::atomic<std::uint32_t> n{0};
+    std::atomic<std::uint32_t> addrs[kMaxTxCells] = {};
+    std::atomic<std::uint64_t> old[kMaxTxCells] = {};
+    std::atomic<TxOp> op{nullptr};
+    std::atomic<std::uint64_t> arg{0};
+  };
+
+  // Register as a helper of {pid, seq23} and run its phases. The counter +
+  // revalidation handshake makes descriptor reuse safe (see header note).
+  void help(unsigned pid, std::uint32_t seq23, unsigned depth) {
+    MOIR_ASSERT_MSG(depth <= n_, "help chain longer than process count");
+    Descriptor& d = *desc_[pid];
+    d.helpers.fetch_add(1, std::memory_order_seq_cst);
+    const std::uint32_t seq = d.seq.load(std::memory_order_seq_cst);
+    if ((seq & ((1u << 23) - 1)) == seq23) {
+      helps_.fetch_add(1, std::memory_order_relaxed);
+      run_phases(d, pid, seq, depth);
+    }
+    d.helpers.fetch_sub(1, std::memory_order_seq_cst);
+  }
+
+  // Drive descriptor `d` (incarnation `seq`, owner `pid`) to a terminal,
+  // fully-released state. Runs identically for the owner and helpers.
+  void run_phases(Descriptor& d, unsigned pid, std::uint32_t seq,
+                  unsigned depth) {
+    const unsigned n = d.n.load(std::memory_order_seq_cst);
+    if (n == 0 || n > kMaxTxCells) return;  // stale/torn read; effects are
+                                            // seq-guarded anyway
+
+    // ---- acquire phase (ascending address order) ----
+    for (unsigned i = 0; i < n; ++i) {
+      const std::uint32_t a = d.addrs[i].load(std::memory_order_seq_cst);
+      if (a >= cells_.size()) return;  // stale read of a recycled slot
+      for (;;) {
+        MOIR_YIELD_POINT();
+        const std::uint64_t st = d.status.load(std::memory_order_seq_cst);
+        if (Status::seq(st) != seq) return;
+        if (Status::state(st) != Status::kActive) goto sweep;
+
+        Cells::Keep keep;
+        const std::uint64_t cur = Cells::ll(cells_[a], keep);
+        if (is_locked(cur)) {
+          if (lock_pid(cur) == pid && lock_seq23(cur) == seq_to_23(seq)) {
+            break;  // already locked for this incarnation (by a helper)
+          }
+          help(lock_pid(cur), lock_seq23(cur), depth + 1);
+          continue;
+        }
+        // Claim the pre-lock value. claim-once: the first CAS wins; all
+        // others adopt the recorded value.
+        std::uint64_t slot = OldSlot::unset(seq);
+        d.old[i].compare_exchange_strong(slot, OldSlot::set(seq, cur),
+                                         std::memory_order_seq_cst);
+        slot = d.old[i].load(std::memory_order_seq_cst);
+        if (OldSlot::seq(slot) != seq) return;  // descriptor recycled
+        if (!OldSlot::is_set(slot) || OldSlot::value(slot) != cur) {
+          // The cell changed between the recorded read and now: this
+          // incarnation's snapshot is stale. Abort (someone else made
+          // progress, so system-wide this is still lock-free).
+          try_abort(d, seq);
+          goto sweep;
+        }
+        if (Cells::sc(cells_[a], keep, lock_word(pid, seq))) break;
+      }
+    }
+    // ---- commit ----
+    {
+      std::uint64_t expect = Status::make(seq, Status::kActive);
+      d.status.compare_exchange_strong(expect,
+                                       Status::make(seq, Status::kCommitted),
+                                       std::memory_order_seq_cst);
+    }
+
+  sweep:
+    // ---- write-back / release phase ----
+    const std::uint64_t st = d.status.load(std::memory_order_seq_cst);
+    if (Status::seq(st) != seq) return;
+    const bool committed = Status::state(st) == Status::kCommitted;
+
+    std::uint64_t olds[kMaxTxCells];
+    std::uint64_t news[kMaxTxCells];
+    bool have_news = false;
+    if (committed) {
+      for (unsigned i = 0; i < n; ++i) {
+        const std::uint64_t slot = d.old[i].load(std::memory_order_seq_cst);
+        if (OldSlot::seq(slot) != seq || !OldSlot::is_set(slot)) return;
+        olds[i] = OldSlot::value(slot);
+      }
+      const TxOp op = d.op.load(std::memory_order_seq_cst);
+      if (op == nullptr) return;
+      op(olds, news, n, d.arg.load(std::memory_order_seq_cst));
+      have_news = true;
+    }
+
+    for (unsigned i = 0; i < n; ++i) {
+      const std::uint64_t slot = d.old[i].load(std::memory_order_seq_cst);
+      if (OldSlot::seq(slot) != seq) return;
+      if (!OldSlot::is_set(slot)) continue;  // never claimed => never locked
+      const std::uint32_t a = d.addrs[i].load(std::memory_order_seq_cst);
+      if (a >= cells_.size()) return;
+      const std::uint64_t target =
+          committed && have_news ? (news[i] & kMaxValue)
+                                 : OldSlot::value(slot);
+      for (;;) {
+        Cells::Keep keep;
+        const std::uint64_t cur = Cells::ll(cells_[a], keep);
+        if (!is_locked(cur) || lock_pid(cur) != pid ||
+            lock_seq23(cur) != seq_to_23(seq)) {
+          break;  // already released (or re-locked by a later incarnation)
+        }
+        if (Cells::sc(cells_[a], keep, target)) break;
+        MOIR_YIELD_POINT();
+      }
+    }
+  }
+
+  void try_abort(Descriptor& d, std::uint32_t seq) {
+    std::uint64_t expect = Status::make(seq, Status::kActive);
+    d.status.compare_exchange_strong(expect,
+                                     Status::make(seq, Status::kAborted),
+                                     std::memory_order_seq_cst);
+  }
+
+  // Truncate a full sequence number to the 23 bits a lock word carries.
+  static std::uint32_t seq_to_23(std::uint32_t seq) {
+    return seq & ((1u << 23) - 1);
+  }
+
+  const unsigned n_;
+  std::vector<Cells::Var> cells_;
+  std::vector<Padded<Descriptor>> desc_;
+  ProcessRegistry registry_;
+  std::atomic<std::uint64_t> commits_{0};
+  std::atomic<std::uint64_t> aborts_{0};
+  std::atomic<std::uint64_t> helps_{0};
+};
+
+}  // namespace moir

@@ -1,0 +1,133 @@
+// Treiber-style lock-free stack over small LL/VL/SC, with a node pool.
+//
+// Head and free-list are LL/SC variables holding node *indices* (they must
+// fit the substrate's value field alongside its tag). Node reuse is exactly
+// the ABA scenario of C++ Core Guidelines CP.100's "spot the bug" example:
+// pop reads head=A and A.next=B; A is popped, recycled, and pushed back
+// while we sleep; a plain CAS would then install a stale B. Here the SC
+// fails because every successful SC on head changed the tag (Figures 4/5)
+// or the announcement no longer matches (Figure 7) — the stack is correct
+// on every conforming substrate, and tests prove it stays correct under
+// aggressive recycling. On the NaiveCasLlsc strawman the same code corrupts
+// itself, which test_aba_structures.cpp demonstrates.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "core/llsc_traits.hpp"
+#include "util/assertion.hpp"
+
+namespace moir {
+
+// A stack of node indices with links held in a shared array. Building block
+// for the value stack below (which uses one IndexStack for live nodes and
+// one for the free list, sharing the link array: a node is always in
+// exactly one of the two).
+template <SmallLlscSubstrate S>
+class IndexStack {
+ public:
+  using ThreadCtx = typename S::ThreadCtx;
+
+  // `links` is shared between all stacks that exchange the same nodes.
+  IndexStack(S& substrate, std::atomic<std::uint32_t>* links,
+             std::uint64_t null_index)
+      : substrate_(substrate), links_(links), null_(null_index) {
+    substrate_.init_var(head_, null_);
+  }
+
+  // Pushes node `idx`; the caller must own the node exclusively.
+  void push(ThreadCtx& ctx, std::uint32_t idx) {
+    for (;;) {
+      typename S::Keep keep;
+      const std::uint64_t head = substrate_.ll(ctx, head_, keep);
+      links_[idx].store(static_cast<std::uint32_t>(head),
+                        std::memory_order_relaxed);
+      if (substrate_.sc(ctx, head_, keep, idx)) return;
+    }
+  }
+
+  // Pops a node; returns nothing if the stack is empty. The returned node
+  // is exclusively owned by the caller.
+  std::optional<std::uint32_t> pop(ThreadCtx& ctx) {
+    for (;;) {
+      typename S::Keep keep;
+      const std::uint64_t head = substrate_.ll(ctx, head_, keep);
+      if (head == null_) {
+        substrate_.cl(ctx, keep);
+        return std::nullopt;
+      }
+      // Reading the link of a node we do not own: may be stale, but then
+      // head changed and the SC below fails (this is the ABA-critical
+      // step).
+      const std::uint32_t next =
+          links_[head].load(std::memory_order_relaxed);
+      if (substrate_.sc(ctx, head_, keep, next)) {
+        return static_cast<std::uint32_t>(head);
+      }
+    }
+  }
+
+  bool empty() const { return substrate_.read(head_) == null_; }
+
+ private:
+  S& substrate_;
+  typename S::Var head_;
+  std::atomic<std::uint32_t>* links_;
+  const std::uint64_t null_;
+};
+
+// Bounded lock-free stack of 64-bit payloads.
+template <SmallLlscSubstrate S>
+class TreiberStack {
+ public:
+  using ThreadCtx = typename S::ThreadCtx;
+
+  // `init_ctx` is any thread context of the constructing thread; it is
+  // only used to seed the free list (the constructor deliberately does not
+  // mint its own context, which would consume a process slot on
+  // pid-tracked substrates such as Figure 7's).
+  TreiberStack(S& substrate, std::uint32_t capacity, ThreadCtx& init_ctx)
+      : substrate_(substrate),
+        capacity_(capacity),
+        links_(std::make_unique<std::atomic<std::uint32_t>[]>(capacity)),
+        payload_(std::make_unique<std::atomic<std::uint64_t>[]>(capacity)),
+        live_(substrate, links_.get(), capacity),
+        free_(substrate, links_.get(), capacity) {
+    MOIR_ASSERT_MSG(capacity < substrate.max_value(),
+                    "node indices (plus the null sentinel) must fit the "
+                    "substrate's value field");
+    for (std::uint32_t i = 0; i < capacity; ++i) free_.push(init_ctx, i);
+  }
+
+  // Returns false when the pool is exhausted.
+  bool push(ThreadCtx& ctx, std::uint64_t value) {
+    const auto idx = free_.pop(ctx);
+    if (!idx) return false;
+    payload_[*idx].store(value, std::memory_order_relaxed);
+    live_.push(ctx, *idx);
+    return true;
+  }
+
+  std::optional<std::uint64_t> pop(ThreadCtx& ctx) {
+    const auto idx = live_.pop(ctx);
+    if (!idx) return std::nullopt;
+    const std::uint64_t value = payload_[*idx].load(std::memory_order_relaxed);
+    free_.push(ctx, *idx);
+    return value;
+  }
+
+  bool empty() const { return live_.empty(); }
+  std::uint32_t capacity() const { return capacity_; }
+
+ private:
+  S& substrate_;
+  const std::uint32_t capacity_;
+  std::unique_ptr<std::atomic<std::uint32_t>[]> links_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> payload_;
+  IndexStack<S> live_;
+  IndexStack<S> free_;
+};
+
+}  // namespace moir

@@ -1,0 +1,73 @@
+// Small-object universal construction over W-word WLL/VL/SC (Figure 6).
+//
+// Herlihy's methodology [7] and Anderson–Moir's universal constructions
+// [2,3] — both on the paper's list of algorithms that hardware LL/SC cannot
+// host — turn any sequential object into a lock-free concurrent one: read
+// the whole state, apply the operation to a private copy, and SC the new
+// state in; retry on failure. With the paper's W-word primitive the state
+// lives inline in the variable, and WLL's early-failure return means a
+// doomed attempt skips the (wasted) local computation — the exact
+// motivation the paper gives for the WLL weakening.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/value_codec.hpp"
+#include "core/wide_llsc.hpp"
+#include "util/assertion.hpp"
+
+namespace moir {
+
+template <WideStorable State, unsigned TagBits = 32>
+class UniversalObject {
+ public:
+  using Domain = WideLlsc<TagBits>;
+  using ThreadCtx = typename Domain::ThreadCtx;
+
+  static constexpr unsigned kChunkBits = Domain::kChunkBits;
+
+  // Number of segments a domain must have to host this object.
+  static unsigned required_width() {
+    return static_cast<unsigned>(chunks_needed(sizeof(State), kChunkBits));
+  }
+
+  UniversalObject(Domain& domain, const State& initial) : domain_(domain) {
+    MOIR_ASSERT_MSG(domain.width() == required_width(),
+                    "domain width must match the object's state size");
+    std::vector<std::uint64_t> buf(domain.width());
+    encode_value(initial, buf, kChunkBits);
+    domain_.init_var(var_, buf);
+  }
+
+  // Applies `op` (State -> State, deterministic, side-effect free)
+  // atomically; returns the state it installed. Lock-free: a retry implies
+  // another operation was installed.
+  template <typename Op>
+  State apply(ThreadCtx& ctx, Op&& op) {
+    std::vector<std::uint64_t> buf(domain_.width());
+    for (;;) {
+      typename Domain::Keep keep;
+      if (!domain_.wll(ctx, var_, keep, buf).success) {
+        // A competing SC succeeded mid-read; ours would fail — skip the
+        // decode/compute work entirely (the WLL weakening's payoff).
+        continue;
+      }
+      const State next = op(decode_value<State>(buf, kChunkBits));
+      encode_value(next, buf, kChunkBits);
+      if (domain_.sc(ctx, var_, keep, buf)) return next;
+    }
+  }
+
+  State read(ThreadCtx& ctx) const {
+    std::vector<std::uint64_t> buf(domain_.width());
+    domain_.read(ctx, var_, buf);
+    return decode_value<State>(buf, kChunkBits);
+  }
+
+ private:
+  Domain& domain_;
+  mutable typename Domain::Var var_;
+};
+
+}  // namespace moir

@@ -1,0 +1,186 @@
+// Wait-free small-object universal construction (Herlihy [7], announce
+// style) over the W-word WLL/VL/SC of Figure 6.
+//
+// UniversalObject (universal.hpp) is lock-free: an unlucky process can
+// retry forever while others win. This construction is wait-free: each
+// process announces its operation, and every successful SC applies ALL
+// pending announced operations (its own and everyone else's) in one shot.
+// A process completes as soon as it observes its announcement applied —
+// whether by its own SC or a helper's — so a bounded number of other
+// processes' successes suffices to finish any operation.
+//
+// The shared state therefore carries, besides the user object, one
+// {applied_seq, result} pair per process, so that results of helped
+// operations survive until their owner collects them. Everything lives in
+// one wide variable; the announcement array is separate ordinary memory,
+// exactly like Figure 6's own A array.
+//
+// Operations must be encodable as (op id, argument) and applied by a
+// deterministic user-supplied functor: helpers re-execute them, so they
+// must be pure.
+//
+// Progress note: completion needs one successful WLL after the operation
+// is applied. WLL itself can be starved by a continuous stream of SCs, so
+// formally this is wait-free relative to WLL's progress (Herlihy's
+// original pays extra machinery to close that gap); in every schedule a
+// scheduler actually produces, the op is applied by the FIRST successful
+// SC after announcement and collected shortly after.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "core/value_codec.hpp"
+#include "core/wide_llsc.hpp"
+#include "util/assertion.hpp"
+#include "util/cache.hpp"
+
+namespace moir {
+
+// Applier: State apply(State, opid, arg, result_out) — deterministic.
+template <WideStorable State, typename Applier, unsigned TagBits = 32>
+class WaitFreeUniversal {
+ public:
+  using Domain = WideLlsc<TagBits>;
+  using ThreadCtx = typename Domain::ThreadCtx;
+  static constexpr unsigned kChunkBits = Domain::kChunkBits;
+
+  struct OpResult {
+    std::uint64_t value = 0;
+  };
+
+ private:
+  // Per-process bookkeeping embedded in the shared wide variable.
+  struct Cell {
+    std::uint32_t applied_seq = 0;
+    std::uint64_t result = 0;
+  };
+
+ public:
+  static unsigned required_width(unsigned n_processes) {
+    return static_cast<unsigned>(
+        chunks_needed(image_bytes(n_processes), kChunkBits));
+  }
+
+  WaitFreeUniversal(Domain& domain, unsigned n_processes, Applier applier,
+                    const State& initial)
+      : domain_(domain),
+        n_(n_processes),
+        applier_(std::move(applier)),
+        announce_(n_processes) {
+    MOIR_ASSERT_MSG(domain.width() == required_width(n_processes),
+                    "domain width must match state + per-process cells");
+    std::vector<std::byte> image(image_bytes(n_));
+    encode_state(image, initial);
+    std::vector<std::uint64_t> chunks(domain_.width());
+    encode_bytes(image, chunks, kChunkBits);
+    domain_.init_var(var_, chunks);
+  }
+
+  // Applies (opid, arg) atomically; wait-free: returns after at most a
+  // bounded number of other processes' successful SCs. Returns the
+  // operation's result as computed by the applier.
+  std::uint64_t apply(ThreadCtx& ctx, std::uint32_t opid, std::uint64_t arg) {
+    const unsigned p = ctx.pid;
+    Announcement& ann = *announce_[p];
+    const std::uint32_t my_seq = ann.seq.load(std::memory_order_relaxed) + 1;
+    ann.opid.store(opid, std::memory_order_relaxed);
+    ann.arg.store(arg, std::memory_order_relaxed);
+    // Publishing the seq makes the announcement visible to helpers; the
+    // seq is written last (release) so helpers never apply a half-written
+    // announcement.
+    ann.seq.store(my_seq, std::memory_order_release);
+
+    std::vector<std::uint64_t> chunks(domain_.width());
+    std::vector<std::byte> image(image_bytes(n_));
+    for (;;) {
+      typename Domain::Keep keep;
+      if (!domain_.wll(ctx, var_, keep, chunks).success) continue;
+      decode_bytes(chunks, image, kChunkBits);
+
+      // Done already? (A helper applied us.)
+      if (load_cell(image, p).applied_seq == my_seq) {
+        return load_cell(image, p).result;
+      }
+
+      // Apply every pending announced operation, own included. A torn
+      // read of a neighbour's announcement (seq from one incarnation,
+      // arg from the next) is possible only if a successful SC intervened
+      // since our WLL — in which case our own SC below fails and the
+      // mixed batch is discarded, never committed.
+      State state = decode_state(image);
+      for (unsigned q = 0; q < n_; ++q) {
+        Announcement& a = *announce_[q];
+        const std::uint32_t seq = a.seq.load(std::memory_order_acquire);
+        Cell cell = load_cell(image, q);
+        if (seq == cell.applied_seq) continue;  // nothing pending
+        std::uint64_t result = 0;
+        state = applier_(state, a.opid.load(std::memory_order_relaxed),
+                         a.arg.load(std::memory_order_relaxed), &result);
+        cell.applied_seq = seq;
+        cell.result = result;
+        store_cell(image, q, cell);
+      }
+      encode_state(image, state);
+      encode_bytes(image, chunks, kChunkBits);
+      if (domain_.sc(ctx, var_, keep, chunks)) {
+        // Our batch committed; it included our own operation.
+        decode_bytes(chunks, image, kChunkBits);
+        MOIR_ASSERT(load_cell(image, p).applied_seq == my_seq);
+        return load_cell(image, p).result;
+      }
+      // SC failed => someone else's batch committed; it may have included
+      // us. Loop re-reads and checks.
+    }
+  }
+
+  State read(ThreadCtx& ctx) const {
+    std::vector<std::uint64_t> chunks(domain_.width());
+    std::vector<std::byte> image(image_bytes(n_));
+    domain_.read(ctx, var_, chunks);
+    decode_bytes(chunks, image, kChunkBits);
+    return decode_state(image);
+  }
+
+ private:
+  struct Announcement {
+    std::atomic<std::uint32_t> seq{0};
+    std::atomic<std::uint32_t> opid{0};
+    std::atomic<std::uint64_t> arg{0};
+  };
+
+  static std::size_t image_bytes(unsigned n) {
+    return sizeof(State) + n * sizeof(Cell);
+  }
+
+  // memcpy-based cell access: the byte image has no alignment guarantees.
+  static Cell load_cell(const std::vector<std::byte>& image, unsigned q) {
+    Cell c;
+    std::memcpy(&c, image.data() + sizeof(State) + q * sizeof(Cell),
+                sizeof(Cell));
+    return c;
+  }
+  static void store_cell(std::vector<std::byte>& image, unsigned q,
+                         const Cell& c) {
+    std::memcpy(image.data() + sizeof(State) + q * sizeof(Cell), &c,
+                sizeof(Cell));
+  }
+
+  static void encode_state(std::vector<std::byte>& image, const State& s) {
+    std::memcpy(image.data(), &s, sizeof(State));
+  }
+  static State decode_state(const std::vector<std::byte>& image) {
+    State s;
+    std::memcpy(&s, image.data(), sizeof(State));
+    return s;
+  }
+
+  Domain& domain_;
+  const unsigned n_;
+  Applier applier_;
+  mutable typename Domain::Var var_;
+  std::vector<Padded<Announcement>> announce_;
+};
+
+}  // namespace moir

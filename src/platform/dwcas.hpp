@@ -1,0 +1,50 @@
+// Double-width (128-bit) atomic operations.
+//
+// The RLL/RSC emulator stores each emulated word as a {version, value} pair
+// so that an emulated RSC fails on *any* intervening write, including ABA
+// writes — matching a hardware reservation, which is cleared by any store to
+// the watched line regardless of the stored value.
+//
+// GCC on x86-64 routes 16-byte __atomic builtins through libatomic, which
+// dispatches to cmpxchg16b at runtime when the CPU supports it (it does on
+// every x86-64 made since 2006). std::atomic<16-byte struct> reports
+// !is_lock_free() for ABI reasons even then, so we use the builtins
+// directly. Correctness never depends on the dispatch: a mutex-backed
+// fallback still gives atomicity, only weaker progress for the *emulator*
+// (never for the paper's algorithms, whose progress claims we restate
+// relative to the substrate).
+#pragma once
+
+#include <cstdint>
+
+namespace moir {
+
+struct alignas(16) VerVal {
+  std::uint64_t version = 0;
+  std::uint64_t value = 0;
+
+  friend bool operator==(const VerVal&, const VerVal&) = default;
+};
+
+static_assert(sizeof(VerVal) == 16);
+
+inline VerVal dw_load(const VerVal* addr) {
+  VerVal out;
+  __atomic_load(const_cast<VerVal*>(addr), &out, __ATOMIC_SEQ_CST);
+  return out;
+}
+
+inline void dw_store(VerVal* addr, VerVal desired) {
+  __atomic_store(addr, &desired, __ATOMIC_SEQ_CST);
+}
+
+// Strong compare-exchange; on failure `expected` is updated to the observed
+// value, mirroring std::atomic::compare_exchange_strong.
+inline bool dw_compare_exchange(VerVal* addr, VerVal& expected,
+                                VerVal desired) {
+  return __atomic_compare_exchange(addr, &expected, &desired,
+                                   /*weak=*/false, __ATOMIC_SEQ_CST,
+                                   __ATOMIC_SEQ_CST);
+}
+
+}  // namespace moir

@@ -1,0 +1,73 @@
+// Spurious-failure injection for the RLL/RSC emulator.
+//
+// Hardware RSC may fail even when no conflicting write occurred (the paper's
+// third RLL/RSC restriction): on the R4000 any cache invalidation — an
+// unrelated line eviction, an interrupt, a context switch — clears the
+// LLBit. We model this as a Bernoulli failure with configurable probability
+// per RSC, plus a deterministic "fail the next n attempts" mode that tests
+// use to drive specific retry paths. Counters let benches report how many
+// failures were spurious vs. caused by real conflicts.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace moir {
+
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+
+  // probability in [0,1] of an injected spurious RSC failure.
+  void set_spurious_probability(double probability) {
+    prob_num_.store(static_cast<std::uint32_t>(probability * kDen),
+                    std::memory_order_relaxed);
+  }
+
+  // Force the next `n` RSCs (across all threads) to fail spuriously.
+  // Deterministic; used by unit tests to exercise retry loops.
+  void force_failures(std::uint64_t n) {
+    forced_.store(n, std::memory_order_relaxed);
+  }
+
+  // Called by the emulator. Returns true if this RSC should fail spuriously.
+  bool should_fail() {
+    std::uint64_t f = forced_.load(std::memory_order_relaxed);
+    while (f > 0) {
+      if (forced_.compare_exchange_weak(f, f - 1, std::memory_order_relaxed)) {
+        injected_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+    const std::uint32_t p = prob_num_.load(std::memory_order_relaxed);
+    if (p != 0 && tls_rng().chance(p, kDen)) {
+      injected_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  std::uint64_t injected_count() const {
+    return injected_.load(std::memory_order_relaxed);
+  }
+
+  void reset_counters() { injected_.store(0, std::memory_order_relaxed); }
+
+ private:
+  static constexpr std::uint32_t kDen = 1u << 24;
+
+  static Xoshiro256& tls_rng() {
+    thread_local Xoshiro256 rng{
+        0x9e3779b97f4a7c15ULL ^
+        reinterpret_cast<std::uintptr_t>(&rng)};  // distinct per thread
+    return rng;
+  }
+
+  std::atomic<std::uint32_t> prob_num_{0};
+  std::atomic<std::uint64_t> forced_{0};
+  std::atomic<std::uint64_t> injected_{0};
+};
+
+}  // namespace moir

@@ -1,0 +1,51 @@
+#include "platform/features.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+
+#if defined(__x86_64__)
+#include <cpuid.h>
+#endif
+
+#include "platform/dwcas.hpp"
+
+namespace moir {
+
+PlatformInfo probe_platform() {
+  PlatformInfo info;
+  info.hardware_threads = std::thread::hardware_concurrency();
+
+  std::atomic<VerVal> probe{};
+  info.atomic16_reports_lock_free = probe.is_lock_free();
+
+#if defined(__x86_64__)
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx) != 0) {
+    info.has_cx16_cpu_flag = (ecx & (1u << 13)) != 0;
+  }
+#endif
+
+#if defined(__clang__)
+  info.compiler = "clang " __clang_version__;
+#elif defined(__GNUC__)
+  info.compiler = "gcc " __VERSION__;
+#else
+  info.compiler = "unknown";
+#endif
+  return info;
+}
+
+std::string platform_summary() {
+  const PlatformInfo info = probe_platform();
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "platform: %zu hw threads, cmpxchg16b=%s "
+                "(std::atomic<16B>.is_lock_free=%s), %s",
+                info.hardware_threads, info.has_cx16_cpu_flag ? "yes" : "no",
+                info.atomic16_reports_lock_free ? "yes" : "no",
+                info.compiler.c_str());
+  return buf;
+}
+
+}  // namespace moir

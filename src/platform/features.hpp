@@ -1,0 +1,23 @@
+// Runtime platform feature probes, reported by benches and the quickstart
+// example so results are interpretable (C++ Core Guidelines CP.101:
+// "distrust your hardware/compiler combination" — so we print it).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace moir {
+
+struct PlatformInfo {
+  std::size_t hardware_threads = 0;
+  bool atomic16_reports_lock_free = false;  // what std::atomic claims
+  bool has_cx16_cpu_flag = false;           // what the CPU actually has
+  std::string compiler;
+};
+
+PlatformInfo probe_platform();
+
+// One-line summary suitable for bench headers.
+std::string platform_summary();
+
+}  // namespace moir

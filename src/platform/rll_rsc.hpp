@@ -1,0 +1,175 @@
+// Software emulation of the restricted LL/SC (RLL/RSC) instructions.
+//
+// The paper defines RLL/RSC as the weakest common denominator of the
+// hardware LL/SC implementations of its era (MIPS R4000, DEC Alpha,
+// PowerPC):
+//   1. no memory access is allowed between an RLL and the subsequent RSC;
+//   2. no validate (VL) instruction exists;
+//   3. RSC may fail spuriously; and
+//   4. operands are a single machine word.
+//
+// This emulator reproduces those semantics on a machine that has only CAS:
+//
+//   * Each emulated word (`RllWord`) is physically a 128-bit
+//     {version, value} pair. RLL records both halves; RSC performs a
+//     double-width CAS that bumps the version. Any intervening successful
+//     RSC — even one that wrote the same value back (ABA) — changes the
+//     version and makes the reservation-holder's RSC fail, exactly like a
+//     hardware reservation cleared by any store to the watched line.
+//   * A `Processor` holds a single reservation (the R4000's one LLBit per
+//     processor): a second RLL silently replaces the first, and an RSC whose
+//     target does not match the current reservation fails (in debug builds
+//     it additionally asserts, because it indicates misuse of the
+//     restricted pair, i.e. a violation of restriction 1).
+//   * Spurious failures (restriction 3) are injected by a FaultInjector
+//     shared across processors, modelling cache-invalidation-induced
+//     LLBit clears.
+//
+// A second RSC flavour, `rsc_weak`, implements value-only comparison (plain
+// CAS semantics, ABA-blind). The paper's algorithms never rely on RSC for
+// ABA protection — their tags do that — so they are correct on either
+// flavour; bench_fig3_cas compares the cost of the two as an ablation.
+#pragma once
+
+#include <cstdint>
+
+#include "platform/dwcas.hpp"
+#include "platform/fault.hpp"
+#include "platform/yield_point.hpp"
+#include "util/assertion.hpp"
+#include "util/cache.hpp"
+
+namespace moir {
+
+// One word of memory accessible through RLL/RSC (and plain reads — the
+// paper's Figure 3 reads *addr directly at line 1). The paper assumes such
+// words are not modified by any means other than (R)SC; this type enforces
+// that by construction: there is no plain store.
+class RllWord {
+ public:
+  explicit RllWord(std::uint64_t initial = 0) : cell_{0, initial} {}
+
+  RllWord(const RllWord&) = delete;
+  RllWord& operator=(const RllWord&) = delete;
+
+  // Plain atomic read of the value (not a reservation).
+  std::uint64_t read() const { return dw_load(&cell_).value; }
+
+  // Number of successful RSCs ever applied; used by tests to observe ABA
+  // writes that a value-only read cannot distinguish.
+  std::uint64_t write_count() const { return dw_load(&cell_).version; }
+
+  // Initialization only: resets the word before it is shared. NOT an
+  // ordinary store — the paper's model has no plain stores to RLL/RSC
+  // words, and using this concurrently with RSCs would break reservations.
+  void reset_for_init(std::uint64_t value) { dw_store(&cell_, {0, value}); }
+
+ private:
+  friend class Processor;
+  mutable VerVal cell_;
+};
+
+// Per-"processor" RLL/RSC execution context. In this library a processor is
+// a thread; each thread owns one Processor (they are cheap).
+class Processor {
+ public:
+  // `faults` may be null for a fault-free processor (useful in unit tests
+  // that want deterministic success).
+  explicit Processor(FaultInjector* faults = nullptr) : faults_(faults) {}
+
+  // Copying a reservation makes no sense; moving one (e.g. when a thread
+  // context is returned from a factory) is harmless.
+  Processor(const Processor&) = delete;
+  Processor& operator=(const Processor&) = delete;
+  Processor(Processor&&) = default;
+  Processor& operator=(Processor&&) = default;
+
+  // RLL: load the word and set the (single) reservation.
+  std::uint64_t rll(const RllWord& word) {
+    reserved_word_ = &word;
+    snapshot_ = dw_load(&word.cell_);
+    MOIR_YIELD_POINT();
+    return snapshot_.value;
+  }
+
+  // RSC: store `desired` iff the word is unchanged since the matching RLL
+  // and no spurious failure is injected. Clears the reservation either way
+  // (hardware SC also clears the LLBit on failure).
+  bool rsc(RllWord& word, std::uint64_t desired) {
+    ++stats_.attempts;
+    if (reserved_word_ != &word) {
+      // Restriction 1/2 violation or reservation lost to an intervening
+      // RLL. Hardware would simply fail the SC; we do the same, but flag it
+      // in debug builds because the paper's algorithms never do this.
+      MOIR_ASSERT_MSG(reserved_word_ == &word,
+                      "RSC without matching RLL reservation");
+      ++stats_.no_reservation_failures;
+      return false;
+    }
+    reserved_word_ = nullptr;
+    if (faults_ != nullptr && faults_->should_fail()) {
+      ++stats_.spurious_failures;
+      return false;
+    }
+    MOIR_YIELD_POINT();
+    VerVal expected = snapshot_;
+    const VerVal next{snapshot_.version + 1, desired};
+    if (dw_compare_exchange(&word.cell_, expected, next)) {
+      ++stats_.successes;
+      return true;
+    }
+    ++stats_.conflict_failures;
+    return false;
+  }
+
+  // Value-only RSC (ABA-blind): succeeds if the *value* still matches the
+  // one read by RLL, even if other writes happened in between.
+  bool rsc_weak(RllWord& word, std::uint64_t desired) {
+    ++stats_.attempts;
+    if (reserved_word_ != &word) {
+      MOIR_ASSERT_MSG(reserved_word_ == &word,
+                      "RSC without matching RLL reservation");
+      ++stats_.no_reservation_failures;
+      return false;
+    }
+    reserved_word_ = nullptr;
+    if (faults_ != nullptr && faults_->should_fail()) {
+      ++stats_.spurious_failures;
+      return false;
+    }
+    MOIR_YIELD_POINT();
+    VerVal cur = dw_load(&word.cell_);
+    while (cur.value == snapshot_.value) {
+      VerVal expected = cur;
+      if (dw_compare_exchange(&word.cell_, expected,
+                              VerVal{cur.version + 1, desired})) {
+        ++stats_.successes;
+        return true;
+      }
+      cur = expected;  // compare_exchange wrote back the observed pair
+    }
+    ++stats_.conflict_failures;
+    return false;
+  }
+
+  bool has_reservation() const { return reserved_word_ != nullptr; }
+
+  struct Stats {
+    std::uint64_t attempts = 0;
+    std::uint64_t successes = 0;
+    std::uint64_t conflict_failures = 0;
+    std::uint64_t spurious_failures = 0;
+    std::uint64_t no_reservation_failures = 0;
+  };
+
+  const Stats& stats() const { return stats_; }
+  void reset_stats() { stats_ = Stats{}; }
+
+ private:
+  FaultInjector* faults_;
+  const RllWord* reserved_word_ = nullptr;
+  VerVal snapshot_{};
+  Stats stats_;
+};
+
+}  // namespace moir

@@ -1,0 +1,71 @@
+// Yield-point injection for interleaving coverage on few-core hosts.
+//
+// The algorithms in src/core mark their interesting intermediate steps with
+// MOIR_YIELD_POINT(). In normal builds this compiles to nothing. Test
+// binaries define MOIR_ENABLE_YIELD_POINTS, which makes each marked step
+// call std::this_thread::yield() with a per-thread-configurable probability.
+// On this project's single-core CI host, preemption alone rarely lands
+// between two adjacent instructions; randomized yields at algorithm steps
+// recover the schedule diversity a multicore run would give.
+//
+// The hooks live only in headers (the core library is header-only), so a TU
+// compiled with the macro and one without never share a definition.
+#pragma once
+
+#include <cstdint>
+
+#ifdef MOIR_ENABLE_YIELD_POINTS
+#include <thread>
+
+#include "util/rng.hpp"
+
+namespace moir::testing {
+
+// Hook for the controlled scheduler (sim/controlled_scheduler.hpp): when a
+// thread runs under systematic exploration, every yield point becomes a
+// scheduling decision instead of a random yield.
+class YieldInterceptor {
+ public:
+  virtual ~YieldInterceptor() = default;
+  virtual void on_yield_point() = 0;
+};
+
+struct YieldState {
+  // Probability of yielding at a marked point, as numerator/2^20.
+  std::uint32_t yield_num = 0;
+  Xoshiro256 rng{0xfeedface};
+  YieldInterceptor* interceptor = nullptr;
+};
+
+inline thread_local YieldState tls_yield_state;
+
+// Enables randomized yields on the calling thread. probability in [0,1].
+inline void set_yield_probability(double probability, std::uint64_t seed) {
+  tls_yield_state.yield_num =
+      static_cast<std::uint32_t>(probability * (1u << 20));
+  tls_yield_state.rng = Xoshiro256(seed);
+}
+
+// Routes this thread's yield points to `interceptor` (nullptr to restore
+// random-yield behaviour).
+inline void set_yield_interceptor(YieldInterceptor* interceptor) {
+  tls_yield_state.interceptor = interceptor;
+}
+
+inline void maybe_yield() {
+  auto& st = tls_yield_state;
+  if (st.interceptor != nullptr) {
+    st.interceptor->on_yield_point();
+    return;
+  }
+  if (st.yield_num != 0 && st.rng.next_below(1u << 20) < st.yield_num) {
+    std::this_thread::yield();
+  }
+}
+
+}  // namespace moir::testing
+
+#define MOIR_YIELD_POINT() ::moir::testing::maybe_yield()
+#else
+#define MOIR_YIELD_POINT() ((void)0)
+#endif

@@ -1,0 +1,33 @@
+// Assertion helpers for moir-llsc.
+//
+// MOIR_ASSERT is active in all build types: the correctness of lock-free
+// code is exactly the kind of property that only manifests under optimized,
+// heavily-tested builds (C++ Core Guidelines CP.101), so we do not strip
+// invariant checks in release builds unless MOIR_DISABLE_ASSERTS is defined.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace moir {
+
+[[noreturn]] inline void assertion_failure(const char* expr, const char* file,
+                                           int line, const char* msg) {
+  std::fprintf(stderr, "moir: assertion failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg == nullptr ? "" : msg);
+  std::abort();
+}
+
+}  // namespace moir
+
+#ifdef MOIR_DISABLE_ASSERTS
+#define MOIR_ASSERT(expr) ((void)0)
+#define MOIR_ASSERT_MSG(expr, msg) ((void)0)
+#else
+#define MOIR_ASSERT(expr)                                          \
+  ((expr) ? (void)0                                                \
+          : ::moir::assertion_failure(#expr, __FILE__, __LINE__, nullptr))
+#define MOIR_ASSERT_MSG(expr, msg)                                 \
+  ((expr) ? (void)0                                                \
+          : ::moir::assertion_failure(#expr, __FILE__, __LINE__, (msg)))
+#endif

@@ -1,0 +1,59 @@
+// Bit-packing helpers used by every tagged-word layout in the library.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "util/assertion.hpp"
+
+namespace moir {
+
+// Mask with the low `bits` bits set. `bits` may be 0..64.
+constexpr std::uint64_t low_mask(unsigned bits) {
+  return bits >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << bits) - 1);
+}
+
+// Extract `bits` bits starting at `shift` from `word`.
+constexpr std::uint64_t extract_bits(std::uint64_t word, unsigned shift,
+                                     unsigned bits) {
+  return (word >> shift) & low_mask(bits);
+}
+
+// Deposit the low `bits` bits of `field` at `shift` in `word`.
+constexpr std::uint64_t deposit_bits(std::uint64_t word, unsigned shift,
+                                     unsigned bits, std::uint64_t field) {
+  const std::uint64_t m = low_mask(bits) << shift;
+  return (word & ~m) | ((field << shift) & m);
+}
+
+// Addition modulo 2^bits (the paper's oplus on a field of width `bits`).
+constexpr std::uint64_t add_mod_pow2(std::uint64_t a, std::uint64_t b,
+                                     unsigned bits) {
+  return (a + b) & low_mask(bits);
+}
+
+// Subtraction modulo 2^bits (the paper's ominus).
+constexpr std::uint64_t sub_mod_pow2(std::uint64_t a, std::uint64_t b,
+                                     unsigned bits) {
+  return (a - b) & low_mask(bits);
+}
+
+// Addition modulo an arbitrary (inclusive) bound: result in [0, bound].
+// Figure 7 uses tags in 0..2Nk and counters in 0..Nk, neither a power of two.
+constexpr std::uint64_t add_mod_range(std::uint64_t a, std::uint64_t b,
+                                      std::uint64_t bound_inclusive) {
+  const std::uint64_t m = bound_inclusive + 1;
+  return (a + b) % m;
+}
+
+// Number of bits needed to represent values 0..max_value.
+constexpr unsigned bits_for(std::uint64_t max_value) {
+  unsigned b = 0;
+  while (max_value != 0) {
+    ++b;
+    max_value >>= 1;
+  }
+  return b == 0 ? 1 : b;
+}
+
+}  // namespace moir

@@ -1,0 +1,33 @@
+// Cache-line geometry and false-sharing avoidance.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <utility>
+
+namespace moir {
+
+// Fixed rather than std::hardware_destructive_interference_size: that
+// constant can change with compiler flags, which would silently change
+// struct layouts across TUs (gcc's -Winterference-size rationale). 64 is
+// correct for every x86-64 and most AArch64 parts.
+inline constexpr std::size_t kCacheLine = 64;
+
+// Wraps T on its own cache line. Used for per-process announcement slots and
+// per-thread statistics, where false sharing would otherwise distort both the
+// benchmarks and the contention counters.
+template <typename T>
+struct alignas(kCacheLine) Padded {
+  T value{};
+
+  Padded() = default;
+  template <typename... Args>
+  explicit Padded(Args&&... args) : value(std::forward<Args>(args)...) {}
+
+  T* operator->() { return &value; }
+  const T* operator->() const { return &value; }
+  T& operator*() { return value; }
+  const T& operator*() const { return value; }
+};
+
+}  // namespace moir

@@ -1,0 +1,56 @@
+#include "util/histogram.hpp"
+
+#include <cstdio>
+
+namespace moir {
+
+void Histogram::merge(const Histogram& other) {
+  for (unsigned b = 0; b <= kBuckets; ++b) counts_[b] += other.counts_[b];
+  total_ += other.total_;
+  n_ += other.n_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+std::uint64_t Histogram::quantile(double q) const {
+  if (n_ == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(n_));
+  std::uint64_t seen = 0;
+  for (unsigned b = 0; b <= kBuckets; ++b) {
+    seen += counts_[b];
+    if (seen > target) {
+      // A bucket's range can extend past the observed maximum; clamp so
+      // quantiles are monotone and never exceed max().
+      return bucket_upper(b) < max_ ? bucket_upper(b) : max_;
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::render(const std::string& unit) const {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof line,
+                "n=%llu mean=%.1f%s p50<=%llu p99<=%llu max=%llu%s\n",
+                static_cast<unsigned long long>(n_), mean(), unit.c_str(),
+                static_cast<unsigned long long>(quantile(0.50)),
+                static_cast<unsigned long long>(quantile(0.99)),
+                static_cast<unsigned long long>(max_), unit.c_str());
+  out += line;
+  for (unsigned b = 0; b <= kBuckets; ++b) {
+    if (counts_[b] == 0) continue;
+    const double frac =
+        static_cast<double>(counts_[b]) / static_cast<double>(n_);
+    const int bars = static_cast<int>(frac * 50.0 + 0.5);
+    std::snprintf(line, sizeof line, "  <=%-12llu %10llu %5.1f%% |%.*s\n",
+                  static_cast<unsigned long long>(bucket_upper(b)),
+                  static_cast<unsigned long long>(counts_[b]), frac * 100.0,
+                  bars,
+                  "##################################################");
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace moir

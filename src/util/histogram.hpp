@@ -1,0 +1,60 @@
+// Log-bucketed histogram for latencies and retry counts.
+//
+// Buckets are power-of-two ranges, so recording is branch-light and the
+// histogram never allocates after construction — safe to use from
+// measurement loops without perturbing them.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace moir {
+
+class Histogram {
+ public:
+  static constexpr unsigned kBuckets = 64;
+
+  Histogram() = default;
+
+  void record(std::uint64_t value) {
+    ++counts_[bucket_of(value)];
+    total_ += value;
+    ++n_;
+    if (value > max_) max_ = value;
+  }
+
+  // Merge another histogram (e.g. per-thread ones) into this one.
+  void merge(const Histogram& other);
+
+  std::uint64_t count() const { return n_; }
+  std::uint64_t max() const { return max_; }
+  double mean() const {
+    return n_ == 0 ? 0.0 : static_cast<double>(total_) / static_cast<double>(n_);
+  }
+
+  // Approximate quantile (upper bound of the bucket containing it).
+  std::uint64_t quantile(double q) const;
+
+  // Multi-line human-readable rendering: one row per non-empty bucket.
+  std::string render(const std::string& unit = "") const;
+
+  std::uint64_t bucket_count(unsigned b) const { return counts_[b]; }
+
+  static unsigned bucket_of(std::uint64_t value) {
+    return value == 0 ? 0 : 64 - static_cast<unsigned>(__builtin_clzll(value));
+  }
+
+  // Inclusive upper bound of values mapped to bucket b.
+  static std::uint64_t bucket_upper(unsigned b) {
+    return b >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << b) - 1;
+  }
+
+ private:
+  std::array<std::uint64_t, kBuckets + 1> counts_{};
+  std::uint64_t total_ = 0;
+  std::uint64_t n_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace moir

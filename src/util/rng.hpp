@@ -1,0 +1,73 @@
+// Small, fast, deterministic PRNGs.
+//
+// Tests and fault injection need per-thread deterministic randomness that is
+// cheap enough to call on the hot path of an emulated RSC. std::mt19937 is
+// too heavy to construct per-thread on the fly; xoshiro256** seeded by
+// SplitMix64 is the standard choice.
+#pragma once
+
+#include <cstdint>
+
+namespace moir {
+
+// SplitMix64: used to expand a single seed into stream state.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// xoshiro256** by Blackman & Vigna.
+class Xoshiro256 {
+ public:
+  explicit constexpr Xoshiro256(std::uint64_t seed) : s_{} {
+    SplitMix64 sm(seed);
+    for (auto& w : s_) w = sm.next();
+  }
+
+  constexpr std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, n). Uses the widening-multiply trick (Lemire).
+  constexpr std::uint64_t next_below(std::uint64_t n) {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * n) >> 64);
+  }
+
+  // True with probability `num`/`den`.
+  constexpr bool chance(std::uint64_t num, std::uint64_t den) {
+    return next_below(den) < num;
+  }
+
+  // Uniform double in [0, 1).
+  constexpr double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+}  // namespace moir

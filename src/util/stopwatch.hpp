@@ -1,0 +1,32 @@
+// Monotonic wall-clock stopwatch for benchmarks and rate measurements.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace moir {
+
+class Stopwatch {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  std::uint64_t elapsed_ns() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
+  double elapsed_s() const {
+    return static_cast<double>(elapsed_ns()) * 1e-9;
+  }
+
+ private:
+  Clock::time_point start_;
+};
+
+}  // namespace moir

@@ -1,0 +1,44 @@
+// ASCII table writer used by the benchmark harness to print paper-style
+// result tables, with an optional CSV sidecar for plotting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace moir {
+
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  Table& columns(std::vector<std::string> names);
+
+  // Row cells are preformatted strings; convenience add() overloads format
+  // common cell types.
+  Table& row(std::vector<std::string> cells);
+
+  // Render the table with aligned columns.
+  std::string render() const;
+
+  // Render as CSV (header + rows), for machine-readable output.
+  std::string csv() const;
+
+  // Print render() to stdout.
+  void print() const;
+
+  static std::string num(double v, int precision = 2);
+  static std::string num(std::uint64_t v);
+  static std::string num(std::int64_t v);
+  static std::string num(int v) { return num(static_cast<std::int64_t>(v)); }
+  static std::string num(unsigned v) {
+    return num(static_cast<std::uint64_t>(v));
+  }
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace moir

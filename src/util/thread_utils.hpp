@@ -1,0 +1,51 @@
+// Thread coordination helpers for tests and benchmarks.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace moir {
+
+// Sense-reversing spin barrier. Spinning (with yield) rather than blocking
+// keeps rendezvous latency low, which matters for measurement windows; on an
+// oversubscribed machine the yield keeps it from burning a full quantum.
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(std::size_t parties)
+      : parties_(parties), waiting_(0), sense_(false) {}
+
+  void arrive_and_wait() {
+    const bool my_sense = !sense_.load(std::memory_order_relaxed);
+    if (waiting_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+      waiting_.store(0, std::memory_order_relaxed);
+      sense_.store(my_sense, std::memory_order_release);
+    } else {
+      while (sense_.load(std::memory_order_acquire) != my_sense) {
+        std::this_thread::yield();
+      }
+    }
+  }
+
+ private:
+  const std::size_t parties_;
+  std::atomic<std::size_t> waiting_;
+  std::atomic<bool> sense_;
+};
+
+// Runs `body(thread_index)` on `n` threads, joining them all before
+// returning. Exceptions in workers are not expected (workers are test/bench
+// loops); a throwing body terminates, which is the desired loud failure.
+inline void run_threads(std::size_t n,
+                        const std::function<void(std::size_t)>& body) {
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    threads.emplace_back([&body, i] { body(i); });
+  }
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace moir

@@ -1,0 +1,67 @@
+// Operation recording for linearizability checking.
+//
+// Each operation gets invocation/response timestamps from a shared atomic
+// counter. Timestamps give the real-time partial order that linearizability
+// must respect: if res(a) < inv(b) then a must take effect before b.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace moir {
+
+enum class OpKind : std::uint8_t {
+  kLl,    // arg: unused       ret: value read
+  kVl,    // arg: unused       ret: 0/1
+  kSc,    // arg: new value    ret: 0/1
+  kCas,   // arg: packed old/new (see CasRegisterSpec)  ret: 0/1
+  kRead,  // arg: unused       ret: value read
+};
+
+struct Operation {
+  unsigned proc = 0;
+  OpKind kind = OpKind::kRead;
+  std::uint64_t arg = 0;
+  std::uint64_t ret = 0;
+  std::uint64_t inv_ts = 0;
+  std::uint64_t res_ts = 0;
+};
+
+// One recorder shared by all threads of an experiment. record() is called
+// around each operation:
+//   const auto inv = rec.now();
+//   ... perform op ...
+//   rec.add(proc, kind, arg, ret, inv);
+class HistoryRecorder {
+ public:
+  explicit HistoryRecorder(unsigned n_threads) : per_thread_(n_threads) {}
+
+  std::uint64_t now() { return clock_.fetch_add(1, std::memory_order_seq_cst); }
+
+  void add(unsigned thread, unsigned proc, OpKind kind, std::uint64_t arg,
+           std::uint64_t ret, std::uint64_t inv_ts) {
+    per_thread_[thread].push_back(
+        Operation{proc, kind, arg, ret, inv_ts, now()});
+  }
+
+  // Merge all threads' logs (stable by invocation time).
+  std::vector<Operation> collect() const;
+
+ private:
+  std::atomic<std::uint64_t> clock_{0};
+  std::vector<std::vector<Operation>> per_thread_;
+};
+
+inline std::vector<Operation> HistoryRecorder::collect() const {
+  std::vector<Operation> all;
+  for (const auto& v : per_thread_) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end(),
+            [](const Operation& a, const Operation& b) {
+              return a.inv_ts < b.inv_ts;
+            });
+  return all;
+}
+
+}  // namespace moir

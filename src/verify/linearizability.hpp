@@ -1,0 +1,72 @@
+// Wing–Gong-style linearizability checker.
+//
+// Given a history of timestamped operations and a sequential spec, search
+// for a linearization: a total order of the operations that (a) respects
+// real time (if res(a) < inv(b), a precedes b) and (b) replays correctly
+// through the spec. The search is a DFS over "minimal" operations —
+// operations whose invocation precedes every unlinearized operation's
+// response — with memoization on (linearized-set, spec-state), which is the
+// standard exponential-worst-case but fast-in-practice algorithm.
+//
+// Histories are limited to 64 operations (a bitmask); tests check many
+// short windows rather than one long history, which is standard practice —
+// a linearizability violation, if present under a given schedule, already
+// appears in a short window around the violating operations.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "util/assertion.hpp"
+#include "verify/history.hpp"
+
+namespace moir {
+
+template <typename Spec>
+class LinearizabilityChecker {
+ public:
+  using State = typename Spec::State;
+
+  // Returns true iff `history` is linearizable starting from `initial`.
+  bool check(const std::vector<Operation>& history, State initial) {
+    MOIR_ASSERT_MSG(history.size() <= 64,
+                    "checker windows are limited to 64 operations");
+    ops_ = &history;
+    n_ = history.size();
+    memo_.clear();
+    return dfs(0, initial);
+  }
+
+ private:
+  bool dfs(std::uint64_t done_mask, const State& state) {
+    if (__builtin_popcountll(done_mask) == static_cast<int>(n_)) return true;
+    const std::uint64_t key =
+        done_mask * 0x2545f4914f6cdd1dULL ^ Spec::hash(state);
+    if (!memo_.insert(key).second) return false;
+
+    // Find the earliest response among unlinearized ops: any op whose
+    // invocation follows it cannot be linearized next.
+    std::uint64_t min_res = ~std::uint64_t{0};
+    for (std::size_t i = 0; i < n_; ++i) {
+      if ((done_mask >> i & 1) == 0 && (*ops_)[i].res_ts < min_res) {
+        min_res = (*ops_)[i].res_ts;
+      }
+    }
+    for (std::size_t i = 0; i < n_; ++i) {
+      if ((done_mask >> i & 1) != 0) continue;
+      const Operation& op = (*ops_)[i];
+      if (op.inv_ts > min_res) continue;  // not minimal
+      const auto next = Spec::apply(state, op);
+      if (!next) continue;  // return value contradicts the spec here
+      if (dfs(done_mask | (std::uint64_t{1} << i), *next)) return true;
+    }
+    return false;
+  }
+
+  const std::vector<Operation>* ops_ = nullptr;
+  std::size_t n_ = 0;
+  std::unordered_set<std::uint64_t> memo_;
+};
+
+}  // namespace moir

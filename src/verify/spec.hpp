@@ -1,0 +1,100 @@
+// Sequential specifications — Figure 2 of the paper, executable.
+//
+// The paper defines the "normal" semantics of CAS and LL/VL/SC as atomic
+// code fragments over a value and a per-process valid array. These specs
+// replay a candidate linearization and accept iff every operation's
+// recorded return value matches what the atomic fragment would produce.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "verify/history.hpp"
+
+namespace moir {
+
+// State and transition function for an LL/VL/SC register (Figure 2 right).
+struct LlscRegisterSpec {
+  struct State {
+    std::uint64_t value = 0;
+    std::uint32_t valid = 0;  // bit p = valid_X[p]
+
+    friend bool operator==(const State&, const State&) = default;
+  };
+
+  static std::uint64_t hash(const State& s) {
+    return s.value * 0x9e3779b97f4a7c15ULL ^ s.valid;
+  }
+
+  // Applies `op`; returns the next state, or nullopt if the recorded return
+  // value contradicts the spec.
+  static std::optional<State> apply(const State& s, const Operation& op) {
+    State next = s;
+    switch (op.kind) {
+      case OpKind::kLl:
+        if (op.ret != s.value) return std::nullopt;
+        next.valid |= 1u << op.proc;
+        return next;
+      case OpKind::kVl: {
+        const bool valid = (s.valid >> op.proc & 1) != 0;
+        if (op.ret != static_cast<std::uint64_t>(valid)) return std::nullopt;
+        return next;
+      }
+      case OpKind::kSc: {
+        const bool valid = (s.valid >> op.proc & 1) != 0;
+        if (op.ret != static_cast<std::uint64_t>(valid)) return std::nullopt;
+        if (valid) {
+          next.value = op.arg;
+          next.valid = 0;
+        }
+        return next;
+      }
+      case OpKind::kRead:
+        if (op.ret != s.value) return std::nullopt;
+        return next;
+      default:
+        return std::nullopt;
+    }
+  }
+};
+
+// CAS register (Figure 2 left) plus plain reads. CAS args are packed as
+// old<<32 | new (32-bit values suffice for checking).
+struct CasRegisterSpec {
+  struct State {
+    std::uint64_t value = 0;
+
+    friend bool operator==(const State&, const State&) = default;
+  };
+
+  static std::uint64_t pack_args(std::uint64_t old_v, std::uint64_t new_v) {
+    return old_v << 32 | new_v;
+  }
+
+  static std::uint64_t hash(const State& s) {
+    return s.value * 0x9e3779b97f4a7c15ULL;
+  }
+
+  static std::optional<State> apply(const State& s, const Operation& op) {
+    State next = s;
+    switch (op.kind) {
+      case OpKind::kCas: {
+        const std::uint64_t old_v = op.arg >> 32;
+        const std::uint64_t new_v = op.arg & 0xffffffffu;
+        const bool should_succeed = s.value == old_v;
+        if (op.ret != static_cast<std::uint64_t>(should_succeed)) {
+          return std::nullopt;
+        }
+        if (should_succeed) next.value = new_v;
+        return next;
+      }
+      case OpKind::kRead:
+        if (op.ret != s.value) return std::nullopt;
+        return next;
+      default:
+        return std::nullopt;
+    }
+  }
+};
+
+}  // namespace moir

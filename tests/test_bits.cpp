@@ -1,0 +1,72 @@
+#include "util/bits.hpp"
+
+#include <gtest/gtest.h>
+
+namespace moir {
+namespace {
+
+TEST(Bits, LowMask) {
+  EXPECT_EQ(low_mask(0), 0u);
+  EXPECT_EQ(low_mask(1), 1u);
+  EXPECT_EQ(low_mask(16), 0xffffu);
+  EXPECT_EQ(low_mask(63), 0x7fffffffffffffffULL);
+  EXPECT_EQ(low_mask(64), ~std::uint64_t{0});
+}
+
+TEST(Bits, ExtractDepositRoundTrip) {
+  const std::uint64_t word = 0xdeadbeefcafebabeULL;
+  for (unsigned shift : {0u, 7u, 16u, 48u}) {
+    for (unsigned bits : {1u, 8u, 16u}) {
+      if (shift + bits > 64) continue;
+      const std::uint64_t field = extract_bits(word, shift, bits);
+      EXPECT_EQ(extract_bits(deposit_bits(word, shift, bits, field), shift,
+                             bits),
+                field);
+    }
+  }
+}
+
+TEST(Bits, DepositDoesNotTouchNeighbours) {
+  const std::uint64_t w = deposit_bits(~std::uint64_t{0}, 8, 8, 0);
+  EXPECT_EQ(w, 0xffffffffffff00ffULL);
+}
+
+TEST(Bits, DepositMasksOversizedField) {
+  // A field wider than `bits` must be truncated, not smear into neighbours.
+  const std::uint64_t w = deposit_bits(0, 4, 4, 0xfff);
+  EXPECT_EQ(w, 0xf0u);
+}
+
+TEST(Bits, AddSubModPow2) {
+  EXPECT_EQ(add_mod_pow2(low_mask(16), 1, 16), 0u);  // wraparound
+  EXPECT_EQ(add_mod_pow2(5, 3, 16), 8u);
+  EXPECT_EQ(sub_mod_pow2(0, 1, 16), low_mask(16));  // underflow wraps
+  EXPECT_EQ(sub_mod_pow2(8, 3, 16), 5u);
+}
+
+TEST(Bits, AddSubModPow2AreInverses) {
+  for (unsigned bits : {1u, 3u, 16u, 48u}) {
+    for (std::uint64_t x : {std::uint64_t{0}, std::uint64_t{1}, low_mask(bits)}) {
+      EXPECT_EQ(sub_mod_pow2(add_mod_pow2(x, 1, bits), 1, bits), x)
+          << "bits=" << bits << " x=" << x;
+    }
+  }
+}
+
+TEST(Bits, AddModRange) {
+  // Figure 7's cnt: 0..Nk arithmetic (bound inclusive, not a power of two).
+  EXPECT_EQ(add_mod_range(6, 1, 6), 0u);
+  EXPECT_EQ(add_mod_range(5, 1, 6), 6u);
+  EXPECT_EQ(add_mod_range(0, 1, 0), 0u);  // degenerate single-value range
+}
+
+TEST(Bits, BitsFor) {
+  EXPECT_EQ(bits_for(0), 1u);
+  EXPECT_EQ(bits_for(1), 1u);
+  EXPECT_EQ(bits_for(2), 2u);
+  EXPECT_EQ(bits_for(255), 8u);
+  EXPECT_EQ(bits_for(256), 9u);
+}
+
+}  // namespace
+}  // namespace moir

@@ -1,0 +1,225 @@
+// Tests for Figure 7 (bounded-tag LL/VL/SC, Theorem 5).
+#include "core/bounded_llsc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/llsc_traits.hpp"
+#include "platform/yield_point.hpp"
+#include "util/thread_utils.hpp"
+
+namespace moir {
+namespace {
+
+using B = BoundedLlsc<>;
+
+static_assert(SmallLlscSubstrate<B>);
+
+TEST(BoundedLlsc, PackedFieldsRoundTrip) {
+  const auto w = B::Packed::make(1234, 567, 89, 4321);
+  EXPECT_EQ(w.tag(), 1234u);
+  EXPECT_EQ(w.cnt(), 567u);
+  EXPECT_EQ(w.pid(), 89u);
+  EXPECT_EQ(w.val(), 4321u);
+}
+
+TEST(BoundedLlsc, InitAndRead) {
+  B s(2, 2);
+  B::Var var;
+  s.init_var(var, 99);
+  EXPECT_EQ(s.read(var), 99u);
+}
+
+TEST(BoundedLlsc, BasicSequence) {
+  B s(2, 2);
+  B::Var var;
+  s.init_var(var, 5);
+  auto ctx = s.make_ctx();
+  B::Keep keep;
+  EXPECT_EQ(s.ll(ctx, var, keep), 5u);
+  EXPECT_TRUE(s.vl(ctx, var, keep));
+  EXPECT_TRUE(s.sc(ctx, var, keep, 6));
+  EXPECT_EQ(s.read(var), 6u);
+}
+
+TEST(BoundedLlsc, ScFailsAfterInterveningSc) {
+  B s(2, 2);
+  B::Var var;
+  s.init_var(var, 1);
+  auto p = s.make_ctx();
+  auto q = s.make_ctx();
+  B::Keep kp, kq;
+  s.ll(p, var, kp);
+  s.ll(q, var, kq);
+  EXPECT_TRUE(s.sc(q, var, kq, 2));
+  EXPECT_FALSE(s.sc(p, var, kp, 3));
+  EXPECT_EQ(s.read(var), 2u);
+}
+
+TEST(BoundedLlsc, VlFalseAfterInterveningSc) {
+  B s(2, 1);
+  B::Var var;
+  s.init_var(var, 1);
+  auto p = s.make_ctx();
+  auto q = s.make_ctx();
+  B::Keep kp, kq;
+  s.ll(p, var, kp);
+  EXPECT_TRUE(s.vl(p, var, kp));
+  s.ll(q, var, kq);
+  ASSERT_TRUE(s.sc(q, var, kq, 7));
+  EXPECT_FALSE(s.vl(p, var, kp));
+  s.cl(p, kp);
+}
+
+TEST(BoundedLlsc, AbaDetectedDespiteSmallTagSpace) {
+  B s(2, 1);
+  B::Var var;
+  s.init_var(var, 1);
+  auto p = s.make_ctx();
+  auto q = s.make_ctx();
+  B::Keep victim, k;
+  s.ll(p, var, victim);
+  s.ll(q, var, k);
+  ASSERT_TRUE(s.sc(q, var, k, 2));
+  s.ll(q, var, k);
+  ASSERT_TRUE(s.sc(q, var, k, 1));  // value restored
+  EXPECT_FALSE(s.sc(p, var, victim, 9));
+}
+
+// k concurrent sequences per process are allowed; k+1 without CL is a
+// protocol violation that the slot stack catches (see SlotStack tests).
+TEST(BoundedLlsc, KConcurrentSequencesOneProcess) {
+  constexpr unsigned k = 3;
+  B s(1, k);
+  B::Var x, y, z;
+  s.init_var(x, 1);
+  s.init_var(y, 2);
+  s.init_var(z, 3);
+  auto ctx = s.make_ctx();
+  B::Keep kx, ky, kz;
+  s.ll(ctx, x, kx);
+  s.ll(ctx, y, ky);
+  s.ll(ctx, z, kz);
+  EXPECT_TRUE(s.sc(ctx, z, kz, 30));
+  EXPECT_TRUE(s.sc(ctx, y, ky, 20));
+  EXPECT_TRUE(s.sc(ctx, x, kx, 10));
+  EXPECT_EQ(s.read(x), 10u);
+  EXPECT_EQ(s.read(y), 20u);
+  EXPECT_EQ(s.read(z), 30u);
+}
+
+TEST(BoundedLlsc, ClRecyclesSlots) {
+  B s(1, 1);  // a single slot: leak detection is immediate
+  B::Var var;
+  s.init_var(var, 0);
+  auto ctx = s.make_ctx();
+  for (int i = 0; i < 1000; ++i) {
+    B::Keep keep;
+    s.ll(ctx, var, keep);
+    if (i % 2 == 0) {
+      s.cl(ctx, keep);
+    } else {
+      EXPECT_TRUE(s.sc(ctx, var, keep, i & 0xff));
+    }
+  }
+}
+
+TEST(BoundedLlsc, SpaceAccounting) {
+  B s(8, 4);
+  // A is Nk words; each variable adds N words of `last`.
+  EXPECT_EQ(s.shared_overhead_words(0), 32u);
+  EXPECT_EQ(s.shared_overhead_words(10), 32u + 80u);
+  // Private: k slots + 2(2Nk+1) queue links + j.
+  EXPECT_EQ(s.private_words_per_process(), 4u + 2u * 65u + 1u);
+}
+
+// Tags must remain within 0..2Nk forever — the bounded-tag property itself —
+// and the cnt field within 0..Nk, even after far more SCs than there are
+// tag values.
+TEST(BoundedLlsc, TagAndCntStayInBoundedRange) {
+  B s(2, 1);
+  B::Var var;
+  s.init_var(var, 0);
+  auto p = s.make_ctx();
+  const std::uint64_t tag_bound = 2 * 2 * 1;  // 2Nk
+  const std::uint64_t cnt_bound = 2 * 1;      // Nk
+  for (int i = 0; i < 500; ++i) {
+    B::Keep keep;
+    const auto v = s.ll(p, var, keep);
+    ASSERT_TRUE(s.sc(p, var, keep, (v + 1) & 0xffff));
+    const auto w = s.raw_word(var);
+    ASSERT_LE(w.tag(), tag_bound);
+    ASSERT_LE(w.cnt(), cnt_bound);
+    ASSERT_EQ(w.pid(), p.pid());
+  }
+}
+
+// The core Theorem 5 story: correctness holds through many times 2Nk+1
+// SCs, i.e. across full tag recycling, under contention. With N=4, k=1
+// there are only 9 tags; 20000 SCs recycle each tag thousands of times.
+class BoundedLlscStress : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BoundedLlscStress, CounterInvariantAcrossTagRecycling) {
+  const unsigned k = GetParam();
+  constexpr unsigned kThreads = 4;
+  B s(kThreads, k);
+  B::Var var;
+  s.init_var(var, 0);
+  std::atomic<std::uint64_t> successes{0};
+  run_threads(kThreads, [&](std::size_t tid) {
+#ifdef MOIR_ENABLE_YIELD_POINTS
+    testing::set_yield_probability(0.02, 77 + tid);
+#endif
+    auto ctx = s.make_ctx();
+    std::uint64_t local = 0;
+    for (int i = 0; i < 5000; ++i) {
+      B::Keep keep;
+      const auto v = s.ll(ctx, var, keep);
+      local += s.sc(ctx, var, keep, (v + 1) & s.max_value());
+    }
+    successes.fetch_add(local);
+#ifdef MOIR_ENABLE_YIELD_POINTS
+    testing::set_yield_probability(0.0, 0);
+#endif
+  });
+  EXPECT_EQ(s.read(var), successes.load() & s.max_value());
+  EXPECT_GT(successes.load(), 4u * 2u * k + 1u)
+      << "tags must have been recycled for this test to mean anything";
+}
+
+INSTANTIATE_TEST_SUITE_P(KSweep, BoundedLlscStress,
+                         ::testing::Values(1u, 2u, 4u));
+
+// Multiple variables sharing one domain: announcements from different
+// variables flow through the same A array; per-variable `last` counters
+// must keep them independent.
+TEST(BoundedLlscStress, ManyVariablesOneDomain) {
+  constexpr unsigned kThreads = 4;
+  constexpr int kVars = 8;
+  B s(kThreads, 2);
+  std::vector<B::Var> vars(kVars);
+  for (auto& v : vars) s.init_var(v, 0);
+  std::vector<std::atomic<std::uint64_t>> succ(kVars);
+  run_threads(kThreads, [&](std::size_t tid) {
+    auto ctx = s.make_ctx();
+    Xoshiro256 rng(tid * 31 + 1);
+    for (int i = 0; i < 8000; ++i) {
+      const int vi = static_cast<int>(rng.next_below(kVars));
+      B::Keep keep;
+      const auto v = s.ll(ctx, vars[vi], keep);
+      if (s.sc(ctx, vars[vi], keep, (v + 1) & s.max_value())) {
+        succ[vi].fetch_add(1);
+      }
+    }
+  });
+  for (int vi = 0; vi < kVars; ++vi) {
+    EXPECT_EQ(s.read(vars[vi]), succ[vi].load() & s.max_value())
+        << "variable " << vi;
+  }
+}
+
+}  // namespace
+}  // namespace moir

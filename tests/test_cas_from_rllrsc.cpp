@@ -1,0 +1,96 @@
+// Unit and stress tests for Figure 3 (CAS from RLL/RSC, Theorem 1).
+#include "core/cas_from_rllrsc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "platform/fault.hpp"
+
+namespace moir {
+namespace {
+
+using Cas = CasFromRllRsc<16>;
+
+TEST(CasFromRllRsc, SucceedsOnMatch) {
+  Cas::Var var(5);
+  Processor p;
+  EXPECT_TRUE(Cas::cas(p, var, 5, 7));
+  EXPECT_EQ(var.read(), 7u);
+}
+
+TEST(CasFromRllRsc, FailsOnMismatch) {
+  Cas::Var var(5);
+  Processor p;
+  EXPECT_FALSE(Cas::cas(p, var, 4, 7));
+  EXPECT_EQ(var.read(), 5u);
+}
+
+// Line 3: old == new returns true immediately without writing — the CAS is
+// linearized at the read, and notably does NOT bump the tag.
+TEST(CasFromRllRsc, EqualOldNewIsReadOnly) {
+  Cas::Var var(5);
+  Processor p;
+  EXPECT_TRUE(Cas::cas(p, var, 5, 5));
+  EXPECT_EQ(var.read(), 5u);
+  EXPECT_EQ(p.stats().attempts, 0u) << "no RSC should have been issued";
+}
+
+TEST(CasFromRllRsc, RetriesThroughSpuriousFailures) {
+  FaultInjector faults;
+  Cas::Var var(1);
+  Processor p(&faults);
+  faults.force_failures(4);
+  EXPECT_TRUE(Cas::cas(p, var, 1, 2));
+  EXPECT_EQ(var.read(), 2u);
+  EXPECT_EQ(p.stats().spurious_failures, 4u);
+  EXPECT_EQ(p.stats().successes, 1u);
+}
+
+TEST(CasFromRllRsc, SequentialChain) {
+  Cas::Var var(0);
+  Processor p;
+  for (std::uint64_t v = 0; v < 100; ++v) {
+    EXPECT_TRUE(Cas::cas(p, var, v, v + 1));
+    EXPECT_FALSE(Cas::cas(p, var, v, v + 2)) << "stale old must fail";
+  }
+  EXPECT_EQ(var.read(), 100u);
+}
+
+// The linearizability workhorse: concurrent increments via CAS must not
+// lose updates, with and without spurious failures.
+class CasFromRllRscStress : public ::testing::TestWithParam<double> {};
+
+TEST_P(CasFromRllRscStress, ConcurrentIncrements) {
+  FaultInjector faults;
+  faults.set_spurious_probability(GetParam());
+  Cas::Var var(0);
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kEach = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      Processor p(&faults);
+      for (std::uint64_t i = 0; i < kEach; ++i) {
+        for (;;) {
+          const std::uint64_t v = Cas::read(var);
+          if (Cas::cas(p, var, v, (v + 1) & Cas::Word::kMaxValue)) break;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(var.read(), (kThreads * kEach) & Cas::Word::kMaxValue);
+}
+
+INSTANTIATE_TEST_SUITE_P(SpuriousRates, CasFromRllRscStress,
+                         ::testing::Values(0.0, 0.05, 0.3));
+
+// Theorem 1's "no space overhead": the accessed word is the only storage.
+TEST(CasFromRllRsc, NoSpaceOverhead) {
+  EXPECT_EQ(sizeof(Cas::Var), sizeof(RllWord));
+}
+
+}  // namespace
+}  // namespace moir

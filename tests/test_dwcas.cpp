@@ -1,0 +1,67 @@
+#include "platform/dwcas.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace moir {
+namespace {
+
+TEST(Dwcas, LoadStoreRoundTrip) {
+  VerVal cell{1, 2};
+  EXPECT_EQ(dw_load(&cell), (VerVal{1, 2}));
+  dw_store(&cell, VerVal{3, 4});
+  EXPECT_EQ(dw_load(&cell), (VerVal{3, 4}));
+}
+
+TEST(Dwcas, CompareExchangeSucceedsOnMatch) {
+  VerVal cell{5, 6};
+  VerVal expected{5, 6};
+  EXPECT_TRUE(dw_compare_exchange(&cell, expected, VerVal{7, 8}));
+  EXPECT_EQ(dw_load(&cell), (VerVal{7, 8}));
+}
+
+TEST(Dwcas, CompareExchangeFailsOnMismatchAndReportsObserved) {
+  VerVal cell{5, 6};
+  VerVal expected{5, 99};
+  EXPECT_FALSE(dw_compare_exchange(&cell, expected, VerVal{7, 8}));
+  EXPECT_EQ(expected, (VerVal{5, 6}));  // observed value written back
+  EXPECT_EQ(dw_load(&cell), (VerVal{5, 6}));
+}
+
+TEST(Dwcas, BothHalvesParticipateInComparison) {
+  VerVal cell{1, 2};
+  VerVal wrong_version{0, 2};
+  EXPECT_FALSE(dw_compare_exchange(&cell, wrong_version, VerVal{9, 9}));
+  VerVal wrong_value{1, 0};
+  EXPECT_FALSE(dw_compare_exchange(&cell, wrong_value, VerVal{9, 9}));
+}
+
+// The whole point of DWCAS here: concurrent version-bumping increments never
+// lose updates even when the value field cycles through the same values
+// (ABA on the value half).
+TEST(DwcasStress, ConcurrentVersionedIncrements) {
+  VerVal cell{0, 0};
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cell] {
+      for (int i = 0; i < kPerThread; ++i) {
+        VerVal cur = dw_load(&cell);
+        // value cycles mod 4: plenty of value-ABA, version disambiguates.
+        while (!dw_compare_exchange(
+            &cell, cur, VerVal{cur.version + 1, (cur.value + 1) % 4})) {
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const VerVal end = dw_load(&cell);
+  EXPECT_EQ(end.version, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(end.value, (static_cast<std::uint64_t>(kThreads) * kPerThread) % 4);
+}
+
+}  // namespace
+}  // namespace moir

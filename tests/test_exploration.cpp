@@ -1,0 +1,265 @@
+// Systematic (exhaustive, within yield-point granularity) exploration of
+// small configurations of the paper's algorithms, plus a positive control:
+// the same explorer FINDS the ABA bug in the naive "LL=load, SC=CAS"
+// emulation. An explorer that never finds planted bugs proves nothing.
+#include "sim/controlled_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/bounded_llsc.hpp"
+#include "core/llsc_traits.hpp"
+#include "core/wide_llsc.hpp"
+
+namespace moir {
+namespace {
+
+using testing::ScheduleExplorer;
+
+// ---------------------------------------------------------------------
+// Figure 4: two threads, two LL/SC increments each. Every interleaving
+// must satisfy: final value == number of successful SCs.
+// ---------------------------------------------------------------------
+TEST(Exploration, Fig4CounterExhaustive) {
+  using L = LlscFromCas<16>;
+
+  auto make_trial = [] {
+    struct Shared {
+      L::Var var{0};
+      std::uint64_t successes = 0;  // only mutated while scheduled alone
+    };
+    auto shared = std::make_shared<Shared>();
+    ScheduleExplorer::Trial trial;
+    for (int t = 0; t < 2; ++t) {
+      trial.bodies.push_back([shared] {
+        for (int i = 0; i < 2; ++i) {
+          L::Keep keep;
+          const std::uint64_t v = L::ll(shared->var, keep);
+          shared->successes += L::sc(shared->var, keep, (v + 1) & 0xffff);
+        }
+      });
+    }
+    trial.check = [shared] {
+      return shared->var.read() == shared->successes;
+    };
+    return trial;
+  };
+
+  const auto r = ScheduleExplorer::explore(make_trial, 100000);
+  EXPECT_TRUE(r.exhausted) << "schedule tree unexpectedly large";
+  EXPECT_FALSE(r.violation_found);
+  EXPECT_GT(r.trials, 10u) << "exploration degenerated to one schedule";
+}
+
+// The same harness must CATCH a real bug: with the ABA-blind strawman,
+// the classic stale-SC interleaving slips through and breaks the stack
+// next-pointer invariant.
+TEST(Exploration, ExplorerFindsNaiveCasAba) {
+  using S = NaiveCasLlsc<16>;
+
+  auto make_trial = [] {
+    struct Shared {
+      S s;
+      S::Var head;
+      // next_of models node links as in the staged ABA test.
+      std::uint32_t next_of[3] = {99, 0, 1};
+      bool victim_sc_ok = false;
+      bool adversary_ok = true;
+    };
+    auto sh = std::make_shared<Shared>();
+    sh->s.init_var(sh->head, 2);  // stack: C(2) -> B(1) -> A(0)
+
+    ScheduleExplorer::Trial trial;
+    // Victim: pop prologue (LL head, read next), then SC.
+    trial.bodies.push_back([sh] {
+      auto ctx = sh->s.make_ctx();
+      S::Keep keep;
+      const std::uint64_t h = sh->s.ll(ctx, sh->head, keep);
+      const std::uint32_t next = sh->next_of[h];
+      sh->victim_sc_ok = sh->s.sc(ctx, sh->head, keep, next);
+    });
+    // Adversary: pop C, pop B, push C back (C recycled with next=A).
+    trial.bodies.push_back([sh] {
+      auto ctx = sh->s.make_ctx();
+      for (int step = 0; step < 3; ++step) {
+        S::Keep k;
+        const std::uint64_t h = sh->s.ll(ctx, sh->head, k);
+        std::uint64_t target;
+        if (step < 2) {
+          target = sh->next_of[h];  // pop
+        } else {
+          sh->next_of[2] = 0;       // recycle C with next = A
+          target = 2;               // push C
+        }
+        sh->adversary_ok &= sh->s.sc(ctx, sh->head, k, target);
+      }
+    });
+    // Violation: the victim's SC succeeded after the full adversary run
+    // (head went C -> B -> A -> C), installing a dangling head (B is
+    // free). Detect: head == B(1) while the adversary completed.
+    trial.check = [sh] {
+      const bool aba_corruption = sh->adversary_ok && sh->victim_sc_ok &&
+                                  sh->s.read(sh->head) == 1;
+      return !aba_corruption;
+    };
+    return trial;
+  };
+
+  const auto r = ScheduleExplorer::explore(make_trial, 100000);
+  EXPECT_TRUE(r.violation_found)
+      << "explorer failed to find the planted ABA bug (positive control)";
+  EXPECT_FALSE(r.violating_schedule.empty());
+}
+
+// The identical scenario on Figure 4 must be violation-free across ALL
+// schedules — the tag is what makes the difference.
+TEST(Exploration, Fig4SurvivesAbaScenarioExhaustive) {
+  using S = CasBackedLlsc<16>;
+
+  auto make_trial = [] {
+    struct Shared {
+      S s;
+      S::Var head;
+      std::uint32_t next_of[3] = {99, 0, 1};
+      bool victim_sc_ok = false;
+      bool adversary_ok = true;
+    };
+    auto sh = std::make_shared<Shared>();
+    sh->s.init_var(sh->head, 2);
+
+    ScheduleExplorer::Trial trial;
+    trial.bodies.push_back([sh] {
+      auto ctx = sh->s.make_ctx();
+      S::Keep keep;
+      const std::uint64_t h = sh->s.ll(ctx, sh->head, keep);
+      const std::uint32_t next = sh->next_of[h];
+      sh->victim_sc_ok = sh->s.sc(ctx, sh->head, keep, next);
+    });
+    trial.bodies.push_back([sh] {
+      auto ctx = sh->s.make_ctx();
+      for (int step = 0; step < 3; ++step) {
+        S::Keep k;
+        const std::uint64_t h = sh->s.ll(ctx, sh->head, k);
+        std::uint64_t target;
+        if (step < 2) {
+          target = sh->next_of[h];
+        } else {
+          sh->next_of[2] = 0;
+          target = 2;
+        }
+        sh->adversary_ok &= sh->s.sc(ctx, sh->head, k, target);
+      }
+    });
+    trial.check = [sh] {
+      const bool aba_corruption = sh->adversary_ok && sh->victim_sc_ok &&
+                                  sh->s.read(sh->head) == 1;
+      return !aba_corruption;
+    };
+    return trial;
+  };
+
+  const auto r = ScheduleExplorer::explore(make_trial, 100000);
+  EXPECT_TRUE(r.exhausted);
+  EXPECT_FALSE(r.violation_found)
+      << "Figure 4 corrupted under schedule, e.g. choices[0]="
+      << (r.violating_schedule.empty() ? 999 : r.violating_schedule[0]);
+}
+
+// ---------------------------------------------------------------------
+// Figure 7 (bounded tags): exhaustive two-process exploration, checking
+// the counter invariant AND the bounded-tag range invariant after every
+// schedule.
+// ---------------------------------------------------------------------
+TEST(Exploration, Fig7CounterExhaustive) {
+  using B = BoundedLlsc<>;
+
+  auto make_trial = [] {
+    struct Shared {
+      B s{2, 1};
+      B::Var var;
+      std::uint64_t successes = 0;
+    };
+    auto sh = std::make_shared<Shared>();
+    sh->s.init_var(sh->var, 0);
+
+    ScheduleExplorer::Trial trial;
+    for (int t = 0; t < 2; ++t) {
+      trial.bodies.push_back([sh] {
+        auto ctx = sh->s.make_ctx();
+        for (int i = 0; i < 2; ++i) {
+          B::Keep keep;
+          const std::uint64_t v = sh->s.ll(ctx, sh->var, keep);
+          sh->successes += sh->s.sc(ctx, sh->var, keep, (v + 1) & 0xffff);
+        }
+      });
+    }
+    trial.check = [sh] {
+      const auto w = sh->s.raw_word(sh->var);
+      return sh->s.read(sh->var) == sh->successes && w.tag() <= 2 * 2 * 1 &&
+             w.cnt() <= 2 * 1;
+    };
+    return trial;
+  };
+
+  const auto r = ScheduleExplorer::explore(make_trial, 200000);
+  EXPECT_TRUE(r.exhausted) << "trials=" << r.trials;
+  EXPECT_FALSE(r.violation_found);
+}
+
+// ---------------------------------------------------------------------
+// Figure 6 (W=2): two processes each WLL+SC once; every schedule must
+// leave an untorn value and count exactly the successful SCs.
+// The schedule tree is larger here (helping paths); a trial budget keeps
+// the test fast, and exhaustion is asserted only if reached.
+// ---------------------------------------------------------------------
+TEST(Exploration, Fig6WideNoTearing) {
+  using W = WideLlsc<32>;
+
+  // N=3: two worker processes plus one context for the final check read.
+  auto make_trial3 = [] {
+    struct Shared {
+      W dom{3, 2};
+      W::Var var;
+      int successes = 0;
+      bool torn = false;
+    };
+    auto sh = std::make_shared<Shared>();
+    const std::vector<std::uint64_t> init{1, 101};
+    sh->dom.init_var(sh->var, init);
+
+    ScheduleExplorer::Trial trial;
+    for (unsigned t = 0; t < 2; ++t) {
+      trial.bodies.push_back([sh, t] {
+        auto ctx = sh->dom.make_ctx();
+        std::vector<std::uint64_t> buf(2);
+        W::Keep keep;
+        if (sh->dom.wll(ctx, sh->var, keep, buf).success) {
+          if (buf[1] != buf[0] + 100) {
+            sh->torn = true;
+            return;
+          }
+          const std::vector<std::uint64_t> next{buf[0] + 10 * (t + 1),
+                                                buf[0] + 10 * (t + 1) + 100};
+          sh->successes += sh->dom.sc(ctx, sh->var, keep, next);
+        }
+      });
+    }
+    trial.check = [sh] {
+      if (sh->torn) return false;
+      auto ctx = sh->dom.make_ctx();
+      std::vector<std::uint64_t> fin(2);
+      sh->dom.read(ctx, sh->var, fin);
+      return fin[1] == fin[0] + 100;
+    };
+    return trial;
+  };
+
+  const auto r = ScheduleExplorer::explore(make_trial3, 30000);
+  EXPECT_FALSE(r.violation_found)
+      << "torn or inconsistent wide value under exploration";
+  EXPECT_GT(r.trials, 100u);
+}
+
+}  // namespace
+}  // namespace moir

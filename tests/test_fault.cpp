@@ -1,0 +1,51 @@
+#include "platform/fault.hpp"
+
+#include <gtest/gtest.h>
+
+namespace moir {
+namespace {
+
+TEST(FaultInjector, DefaultNeverFails) {
+  FaultInjector f;
+  for (int i = 0; i < 10000; ++i) EXPECT_FALSE(f.should_fail());
+  EXPECT_EQ(f.injected_count(), 0u);
+}
+
+TEST(FaultInjector, ForcedFailuresAreExact) {
+  FaultInjector f;
+  f.force_failures(3);
+  int fails = 0;
+  for (int i = 0; i < 100; ++i) fails += f.should_fail();
+  EXPECT_EQ(fails, 3);
+  EXPECT_EQ(f.injected_count(), 3u);
+}
+
+TEST(FaultInjector, ProbabilityZeroAndOne) {
+  FaultInjector f;
+  f.set_spurious_probability(0.0);
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(f.should_fail());
+  f.set_spurious_probability(1.0);
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(f.should_fail());
+}
+
+TEST(FaultInjector, ProbabilityRoughlyCalibrated) {
+  FaultInjector f;
+  f.set_spurious_probability(0.25);
+  int fails = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) fails += f.should_fail();
+  EXPECT_NEAR(static_cast<double>(fails) / n, 0.25, 0.02);
+  EXPECT_EQ(f.injected_count(), static_cast<std::uint64_t>(fails));
+}
+
+TEST(FaultInjector, ResetCounters) {
+  FaultInjector f;
+  f.force_failures(5);
+  while (f.should_fail()) {
+  }
+  f.reset_counters();
+  EXPECT_EQ(f.injected_count(), 0u);
+}
+
+}  // namespace
+}  // namespace moir

@@ -1,0 +1,62 @@
+#include "util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace moir {
+namespace {
+
+TEST(Histogram, Empty) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.quantile(0.99), 0u);
+}
+
+TEST(Histogram, BucketOf) {
+  EXPECT_EQ(Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(Histogram::bucket_of(1), 1u);
+  EXPECT_EQ(Histogram::bucket_of(2), 2u);
+  EXPECT_EQ(Histogram::bucket_of(3), 2u);
+  EXPECT_EQ(Histogram::bucket_of(4), 3u);
+  EXPECT_EQ(Histogram::bucket_of(~std::uint64_t{0}), 64u);
+}
+
+TEST(Histogram, MeanAndMax) {
+  Histogram h;
+  h.record(1);
+  h.record(3);
+  h.record(8);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+  EXPECT_EQ(h.max(), 8u);
+}
+
+TEST(Histogram, QuantileMonotone) {
+  Histogram h;
+  for (std::uint64_t v = 0; v < 1000; ++v) h.record(v);
+  EXPECT_LE(h.quantile(0.5), h.quantile(0.9));
+  EXPECT_LE(h.quantile(0.9), h.quantile(1.0));
+  // p50 of uniform 0..999 lands in the bucket containing ~500.
+  EXPECT_GE(h.quantile(0.5), 500u);
+}
+
+TEST(Histogram, Merge) {
+  Histogram a, b;
+  a.record(1);
+  b.record(100);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.max(), 100u);
+  EXPECT_DOUBLE_EQ(a.mean(), 50.5);
+}
+
+TEST(Histogram, RenderMentionsStats) {
+  Histogram h;
+  h.record(5);
+  const std::string r = h.render("ns");
+  EXPECT_NE(r.find("n=1"), std::string::npos);
+  EXPECT_NE(r.find("max=5ns"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace moir

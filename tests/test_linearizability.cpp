@@ -1,0 +1,253 @@
+// Checker unit tests (hand-crafted histories) plus end-to-end checking of
+// recorded histories from the real implementations.
+#include "verify/linearizability.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/bounded_llsc.hpp"
+#include "core/cas_from_rllrsc.hpp"
+#include "core/llsc_traits.hpp"
+#include "util/thread_utils.hpp"
+#include "verify/spec.hpp"
+
+namespace moir {
+namespace {
+
+Operation op(unsigned proc, OpKind kind, std::uint64_t arg, std::uint64_t ret,
+             std::uint64_t inv, std::uint64_t res) {
+  return Operation{proc, kind, arg, ret, inv, res};
+}
+
+// ---------- hand-crafted histories ----------
+
+TEST(Checker, EmptyHistoryIsLinearizable) {
+  LinearizabilityChecker<LlscRegisterSpec> c;
+  EXPECT_TRUE(c.check({}, {}));
+}
+
+TEST(Checker, SequentialLlScAccepted) {
+  LinearizabilityChecker<LlscRegisterSpec> c;
+  std::vector<Operation> h{
+      op(0, OpKind::kLl, 0, 5, 0, 1),
+      op(0, OpKind::kSc, 6, 1, 2, 3),
+      op(0, OpKind::kLl, 0, 6, 4, 5),
+  };
+  EXPECT_TRUE(c.check(h, {5, 0}));
+}
+
+TEST(Checker, WrongLlValueRejected) {
+  LinearizabilityChecker<LlscRegisterSpec> c;
+  std::vector<Operation> h{op(0, OpKind::kLl, 0, 99, 0, 1)};
+  EXPECT_FALSE(c.check(h, {5, 0}));
+}
+
+TEST(Checker, ScWithoutLlMustFail) {
+  LinearizabilityChecker<LlscRegisterSpec> c;
+  // Process 0 never LL'd, so a successful SC is illegal...
+  std::vector<Operation> bad{op(0, OpKind::kSc, 9, 1, 0, 1)};
+  EXPECT_FALSE(c.check(bad, {5, 0}));
+  // ...but a failing SC matches the spec (valid_X[0] is false).
+  std::vector<Operation> good{op(0, OpKind::kSc, 9, 0, 0, 1)};
+  EXPECT_TRUE(c.check(good, {5, 0}));
+}
+
+TEST(Checker, TwoScsAfterSharedGenerationOnlyOneSucceeds) {
+  LinearizabilityChecker<LlscRegisterSpec> c;
+  // p and q both LL; both SCs report success — impossible.
+  std::vector<Operation> h{
+      op(0, OpKind::kLl, 0, 5, 0, 1), op(1, OpKind::kLl, 0, 5, 2, 3),
+      op(0, OpKind::kSc, 6, 1, 4, 5), op(1, OpKind::kSc, 7, 1, 6, 7)};
+  EXPECT_FALSE(c.check(h, {5, 0}));
+  // With q's SC failing it is linearizable.
+  h[3].ret = 0;
+  EXPECT_TRUE(c.check(h, {5, 0}));
+}
+
+TEST(Checker, OverlappingOpsUseInterleavingFreedom) {
+  LinearizabilityChecker<LlscRegisterSpec> c;
+  // p's LL returns the value written by q's SC even though p's LL was
+  // invoked first — legal because the two overlap in real time.
+  std::vector<Operation> h{
+      op(1, OpKind::kLl, 0, 5, 0, 1),
+      op(0, OpKind::kLl, 0, 6, 2, 6),  // overlaps q's SC
+      op(1, OpKind::kSc, 6, 1, 3, 5),
+  };
+  EXPECT_TRUE(c.check(h, {5, 0}));
+}
+
+TEST(Checker, RealTimeOrderIsEnforced) {
+  LinearizabilityChecker<LlscRegisterSpec> c;
+  // Same returns, but now p's LL completed BEFORE q's SC was invoked:
+  // p's LL cannot see the future value 6.
+  std::vector<Operation> h{
+      op(1, OpKind::kLl, 0, 5, 0, 1),
+      op(0, OpKind::kLl, 0, 6, 2, 3),   // completes first...
+      op(1, OpKind::kSc, 6, 1, 4, 5),   // ...then the SC starts
+  };
+  EXPECT_FALSE(c.check(h, {5, 0}));
+}
+
+TEST(Checker, VlSemanticsChecked) {
+  LinearizabilityChecker<LlscRegisterSpec> c;
+  // VL true after an intervening successful SC is a violation.
+  std::vector<Operation> h{
+      op(0, OpKind::kLl, 0, 5, 0, 1), op(1, OpKind::kLl, 0, 5, 2, 3),
+      op(1, OpKind::kSc, 6, 1, 4, 5), op(0, OpKind::kVl, 0, 1, 6, 7)};
+  EXPECT_FALSE(c.check(h, {5, 0}));
+  h[3].ret = 0;
+  EXPECT_TRUE(c.check(h, {5, 0}));
+}
+
+// The ABA history: victim LLs value C; others SC C->B then B->C; victim's
+// SC succeeds. Under Figure 2's semantics the victim's valid bit was
+// cleared by the first intervening SC, so success is a violation — this is
+// the precise sense in which the naive CAS emulation is not a correct
+// LL/SC (and the paper's tagged constructions are).
+TEST(Checker, AbaHistoryRejected) {
+  LinearizabilityChecker<LlscRegisterSpec> c;
+  std::vector<Operation> h{
+      op(0, OpKind::kLl, 0, 3, 0, 1),
+      op(1, OpKind::kLl, 0, 3, 2, 3),
+      op(1, OpKind::kSc, 2, 1, 4, 5),
+      op(1, OpKind::kLl, 0, 2, 6, 7),
+      op(1, OpKind::kSc, 3, 1, 8, 9),   // value back to 3
+      op(0, OpKind::kSc, 9, 1, 10, 11),  // victim "succeeds": ABA
+  };
+  EXPECT_FALSE(c.check(h, {3, 0}));
+  h[5].ret = 0;  // correct behaviour: the victim's SC fails
+  EXPECT_TRUE(c.check(h, {3, 0}));
+}
+
+TEST(Checker, CasSpecSequential) {
+  LinearizabilityChecker<CasRegisterSpec> c;
+  std::vector<Operation> h{
+      op(0, OpKind::kCas, CasRegisterSpec::pack_args(5, 6), 1, 0, 1),
+      op(0, OpKind::kRead, 0, 6, 2, 3),
+      op(0, OpKind::kCas, CasRegisterSpec::pack_args(5, 7), 0, 4, 5),
+  };
+  EXPECT_TRUE(c.check(h, {5}));
+  h[2].ret = 1;  // stale CAS cannot succeed
+  EXPECT_FALSE(c.check(h, {5}));
+}
+
+TEST(Checker, ConcurrentCasOnlyOneWinnerPerValue) {
+  LinearizabilityChecker<CasRegisterSpec> c;
+  // Two fully-overlapping CAS(5->6) and CAS(5->7): both claiming success
+  // is impossible...
+  std::vector<Operation> h{
+      op(0, OpKind::kCas, CasRegisterSpec::pack_args(5, 6), 1, 0, 3),
+      op(1, OpKind::kCas, CasRegisterSpec::pack_args(5, 7), 1, 1, 2),
+  };
+  EXPECT_FALSE(c.check(h, {5}));
+  // ...either one failing is fine.
+  h[0].ret = 0;
+  EXPECT_TRUE(c.check(h, {5}));
+}
+
+// ---------- recorded histories from the real implementations ----------
+
+// Record a short window of concurrent LL/VL/SC activity on `substrate` and
+// return the history.
+template <typename S>
+std::vector<Operation> record_window(S& s, unsigned threads, unsigned ops_each,
+                                     std::uint64_t initial) {
+  typename S::Var var;
+  s.init_var(var, initial);
+  HistoryRecorder rec(threads);
+  SpinBarrier barrier(threads);
+  run_threads(threads, [&](std::size_t tid) {
+#ifdef MOIR_ENABLE_YIELD_POINTS
+    testing::set_yield_probability(0.2, 31 * tid + 7);
+#endif
+    auto ctx = s.make_ctx();
+    barrier.arrive_and_wait();
+    for (unsigned i = 0; i < ops_each; ++i) {
+      typename S::Keep keep;
+      auto inv = rec.now();
+      const std::uint64_t v = s.ll(ctx, var, keep);
+      rec.add(tid, tid, OpKind::kLl, 0, v, inv);
+
+      inv = rec.now();
+      const bool valid = s.vl(ctx, var, keep);
+      rec.add(tid, tid, OpKind::kVl, 0, valid, inv);
+
+      inv = rec.now();
+      const bool ok = s.sc(ctx, var, keep, (v + tid + 1) & s.max_value());
+      rec.add(tid, tid, OpKind::kSc, (v + tid + 1) & s.max_value(), ok, inv);
+    }
+#ifdef MOIR_ENABLE_YIELD_POINTS
+    testing::set_yield_probability(0.0, 0);
+#endif
+  });
+  return rec.collect();
+}
+
+template <typename S>
+void check_substrate_windows(S& s, unsigned threads) {
+  LinearizabilityChecker<LlscRegisterSpec> checker;
+  for (int window = 0; window < 40; ++window) {
+    const auto h = record_window(s, threads, /*ops_each=*/4, /*initial=*/7);
+    ASSERT_LE(h.size(), 64u);
+    EXPECT_TRUE(checker.check(h, {7, 0}))
+        << "window " << window << " not linearizable";
+  }
+}
+
+TEST(RecordedHistories, Figure4IsLinearizable) {
+  CasBackedLlsc<16> s;
+  check_substrate_windows(s, 4);
+}
+
+TEST(RecordedHistories, Figure5IsLinearizable) {
+  RllBackedLlsc<16> s;
+  check_substrate_windows(s, 4);
+}
+
+TEST(RecordedHistories, Figure5WithSpuriousFailuresIsLinearizable) {
+  FaultInjector faults;
+  faults.set_spurious_probability(0.2);
+  RllBackedLlsc<16> s(&faults);
+  check_substrate_windows(s, 4);
+}
+
+TEST(RecordedHistories, Figure7IsLinearizable) {
+  LinearizabilityChecker<LlscRegisterSpec> checker;
+  for (int window = 0; window < 40; ++window) {
+    BoundedLlsc<> s(4, 1);
+    const auto h = record_window(s, 4, 4, 7);
+    EXPECT_TRUE(checker.check(h, {7, 0})) << "window " << window;
+  }
+}
+
+TEST(RecordedHistories, Figure3CasIsLinearizable) {
+  using Cas = CasFromRllRsc<16>;
+  LinearizabilityChecker<CasRegisterSpec> checker;
+  FaultInjector faults;
+  faults.set_spurious_probability(0.1);
+  for (int window = 0; window < 40; ++window) {
+    Cas::Var var(5);
+    HistoryRecorder rec(4);
+    SpinBarrier barrier(4);
+    run_threads(4, [&](std::size_t tid) {
+      Processor p(&faults);
+      barrier.arrive_and_wait();
+      for (int i = 0; i < 4; ++i) {
+        auto inv = rec.now();
+        const std::uint64_t v = Cas::read(var);
+        rec.add(tid, tid, OpKind::kRead, 0, v, inv);
+
+        const std::uint64_t new_v = (v + tid + 1) & 0xffff;
+        inv = rec.now();
+        const bool ok = Cas::cas(p, var, v, new_v);
+        rec.add(tid, tid, OpKind::kCas, CasRegisterSpec::pack_args(v, new_v),
+                ok, inv);
+      }
+    });
+    EXPECT_TRUE(checker.check(rec.collect(), {5})) << "window " << window;
+  }
+}
+
+}  // namespace
+}  // namespace moir

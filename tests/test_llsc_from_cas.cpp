@@ -1,0 +1,151 @@
+// Unit and stress tests for Figure 4 (LL/VL/SC from CAS, Theorem 2).
+#include "core/llsc_from_cas.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace moir {
+namespace {
+
+using L = LlscFromCas<16>;
+
+TEST(LlscFromCas, LlReturnsValueAndFillsKeep) {
+  L::Var var(42);
+  L::Keep keep;
+  EXPECT_EQ(L::ll(var, keep), 42u);
+  EXPECT_EQ(keep.value(), 42u);
+  EXPECT_EQ(keep.tag(), 0u);
+}
+
+TEST(LlscFromCas, ScSucceedsWhenUnchanged) {
+  L::Var var(1);
+  L::Keep keep;
+  L::ll(var, keep);
+  EXPECT_TRUE(L::sc(var, keep, 2));
+  EXPECT_EQ(var.read(), 2u);
+}
+
+TEST(LlscFromCas, ScFailsAfterInterveningSc) {
+  L::Var var(1);
+  L::Keep mine, other;
+  L::ll(var, mine);
+  L::ll(var, other);
+  EXPECT_TRUE(L::sc(var, other, 9));
+  EXPECT_FALSE(L::sc(var, mine, 5));
+  EXPECT_EQ(var.read(), 9u);
+}
+
+// The tag makes SC fail even when the value has been restored (ABA).
+TEST(LlscFromCas, ScDetectsAba) {
+  L::Var var(1);
+  L::Keep victim;
+  L::ll(var, victim);
+  {
+    L::Keep k;
+    L::ll(var, k);
+    ASSERT_TRUE(L::sc(var, k, 2));
+    L::ll(var, k);
+    ASSERT_TRUE(L::sc(var, k, 1));  // back to original value
+  }
+  EXPECT_EQ(var.read(), 1u);
+  EXPECT_FALSE(L::sc(var, victim, 7));
+}
+
+TEST(LlscFromCas, VlTrueWhileUnchanged) {
+  L::Var var(3);
+  L::Keep keep;
+  L::ll(var, keep);
+  EXPECT_TRUE(L::vl(var, keep));
+}
+
+TEST(LlscFromCas, VlFalseAfterSuccessfulSc) {
+  L::Var var(3);
+  L::Keep victim, k;
+  L::ll(var, victim);
+  L::ll(var, k);
+  ASSERT_TRUE(L::sc(var, k, 4));
+  EXPECT_FALSE(L::vl(var, victim));
+}
+
+TEST(LlscFromCas, VlFalseAfterAba) {
+  L::Var var(3);
+  L::Keep victim, k;
+  L::ll(var, victim);
+  L::ll(var, k);
+  ASSERT_TRUE(L::sc(var, k, 8));
+  L::ll(var, k);
+  ASSERT_TRUE(L::sc(var, k, 3));
+  EXPECT_FALSE(L::vl(var, victim));
+}
+
+// The paper's motivating Figure 1(a): two LL-SC sequences on different
+// variables interleaved by one process — impossible with RLL/RSC, and the
+// reason for the keep-word interface. Mirrors X/Z/Y from the figure.
+TEST(LlscFromCas, ConcurrentSequencesOneProcess) {
+  L::Var x(1), y(2);
+  std::uint64_t z = 0;  // ordinary variable read/written in between
+  L::Keep kx, ky;
+  L::ll(x, kx);
+  z = 10;
+  z += 1;
+  L::ll(y, ky);
+  EXPECT_TRUE(L::vl(x, kx));
+  EXPECT_TRUE(L::sc(y, ky, 20));
+  EXPECT_TRUE(L::sc(x, kx, z));
+  EXPECT_EQ(x.read(), 11u);
+  EXPECT_EQ(y.read(), 20u);
+}
+
+// Many interleaved sequences on the same variable from the same process:
+// exactly one of the pending SCs can win per generation.
+TEST(LlscFromCas, ManyPendingScsOneWinner) {
+  L::Var var(0);
+  std::vector<L::Keep> keeps(8);
+  for (auto& k : keeps) L::ll(var, k);
+  int wins = 0;
+  for (std::size_t i = 0; i < keeps.size(); ++i) {
+    wins += L::sc(var, keeps[i], i + 1);
+  }
+  EXPECT_EQ(wins, 1);
+  EXPECT_EQ(var.read(), 1u);  // the first SC won
+}
+
+TEST(LlscFromCas, NoSpaceOverhead) {
+  EXPECT_EQ(sizeof(L::Var), sizeof(std::uint64_t));
+}
+
+class LlscFromCasStress : public ::testing::TestWithParam<int> {};
+
+// N threads, each repeatedly LL/VL/SC-incrementing a shared counter. The
+// final value must equal the number of successful SCs (no lost or phantom
+// updates) — the standard linearizability invariant for LL/SC registers.
+TEST_P(LlscFromCasStress, SuccessfulScsMatchFinalValue) {
+  const int threads = GetParam();
+  L::Var var(0);
+  std::atomic<std::uint64_t> successes{0};
+  constexpr int kAttemptsEach = 20000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&] {
+      std::uint64_t local = 0;
+      for (int i = 0; i < kAttemptsEach; ++i) {
+        L::Keep keep;
+        const std::uint64_t v = L::ll(var, keep);
+        local += L::sc(var, keep, (v + 1) & L::Word::kMaxValue);
+      }
+      successes.fetch_add(local);
+    });
+  }
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(var.read(), successes.load() & L::Word::kMaxValue);
+  EXPECT_GT(successes.load(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, LlscFromCasStress,
+                         ::testing::Values(1, 2, 4, 8));
+
+}  // namespace
+}  // namespace moir

@@ -1,0 +1,159 @@
+// MCAS/DCAS tests: sequential semantics, atomicity (all-or-nothing), and
+// the classic two-location invariant stresses that a non-atomic multi-word
+// update cannot survive.
+#include "nonblocking/mcas.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "util/rng.hpp"
+#include "util/thread_utils.hpp"
+
+namespace moir {
+namespace {
+
+TEST(Mcas, SingleWordBehavesLikeCas) {
+  Mcas m(2, 4);
+  auto ctx = m.make_ctx();
+  m.set_initial(0, 5);
+  const std::uint32_t a[] = {0};
+  const std::uint64_t e[] = {5}, d[] = {6};
+  EXPECT_TRUE(m.mcas(ctx, a, e, d));
+  EXPECT_EQ(m.read(ctx, 0), 6u);
+  EXPECT_FALSE(m.mcas(ctx, a, e, d)) << "stale expected must fail";
+  EXPECT_EQ(m.read(ctx, 0), 6u);
+}
+
+TEST(Mcas, AllOrNothing) {
+  Mcas m(2, 4);
+  auto ctx = m.make_ctx();
+  m.set_initial(0, 1);
+  m.set_initial(1, 2);
+  m.set_initial(2, 3);
+  const std::uint32_t a[] = {0, 1, 2};
+  // One mismatching expected value: NOTHING may change.
+  const std::uint64_t e_bad[] = {1, 99, 3}, d[] = {10, 20, 30};
+  EXPECT_FALSE(m.mcas(ctx, a, e_bad, d));
+  EXPECT_EQ(m.read(ctx, 0), 1u);
+  EXPECT_EQ(m.read(ctx, 1), 2u);
+  EXPECT_EQ(m.read(ctx, 2), 3u);
+  // All matching: everything changes.
+  const std::uint64_t e_ok[] = {1, 2, 3};
+  EXPECT_TRUE(m.mcas(ctx, a, e_ok, d));
+  EXPECT_EQ(m.read(ctx, 0), 10u);
+  EXPECT_EQ(m.read(ctx, 1), 20u);
+  EXPECT_EQ(m.read(ctx, 2), 30u);
+}
+
+TEST(Mcas, DcasConvenience) {
+  Mcas m(2, 4);
+  auto ctx = m.make_ctx();
+  m.set_initial(0, 7);
+  m.set_initial(3, 8);
+  EXPECT_TRUE(m.dcas(ctx, 0, 7, 70, 3, 8, 80));
+  EXPECT_EQ(m.read(ctx, 0), 70u);
+  EXPECT_EQ(m.read(ctx, 3), 80u);
+  EXPECT_FALSE(m.dcas(ctx, 0, 7, 1, 3, 8, 2));
+}
+
+TEST(Mcas, SnapshotIsAtomic) {
+  Mcas m(2, 4);
+  auto ctx = m.make_ctx();
+  m.set_initial(1, 11);
+  m.set_initial(2, 22);
+  const std::uint32_t a[] = {1, 2};
+  std::uint64_t out[2];
+  m.snapshot(ctx, a, out);
+  EXPECT_EQ(out[0], 11u);
+  EXPECT_EQ(out[1], 22u);
+}
+
+TEST(Mcas, MaxWidth) {
+  Mcas m(2, Mcas::kMaxWords);
+  auto ctx = m.make_ctx();
+  std::uint32_t a[Mcas::kMaxWords];
+  std::uint64_t e[Mcas::kMaxWords], d[Mcas::kMaxWords];
+  for (unsigned i = 0; i < Mcas::kMaxWords; ++i) {
+    m.set_initial(i, i);
+    a[i] = i;
+    e[i] = i;
+    d[i] = i + 100;
+  }
+  EXPECT_TRUE(m.mcas(ctx, a, e, d));
+  for (unsigned i = 0; i < Mcas::kMaxWords; ++i) {
+    EXPECT_EQ(m.read(ctx, i), i + 100);
+  }
+}
+
+// Two cells must always hold equal values; every update is a DCAS
+// advancing both. Any torn/partial application breaks equality, and
+// result-counting catches lost or phantom successes.
+TEST(McasStress, PairedCellsStayEqual) {
+  constexpr unsigned kThreads = 4;
+  Mcas m(kThreads + 1, 2);
+  m.set_initial(0, 0);
+  m.set_initial(1, 0);
+
+  std::atomic<std::uint64_t> wins{0};
+  run_threads(kThreads, [&](std::size_t tid) {
+#ifdef MOIR_ENABLE_YIELD_POINTS
+    testing::set_yield_probability(0.02, 4000 + tid);
+#endif
+    auto ctx = m.make_ctx();
+    std::uint64_t local = 0;
+    for (int i = 0; i < 3000; ++i) {
+      const std::uint32_t a[] = {0, 1};
+      std::uint64_t snap[2];
+      m.snapshot(ctx, a, snap);
+      ASSERT_EQ(snap[0], snap[1]) << "paired cells diverged";
+      const std::uint64_t e[] = {snap[0], snap[1]};
+      const std::uint64_t d[] = {snap[0] + 1, snap[1] + 1};
+      local += m.mcas(ctx, a, e, d);
+    }
+    wins.fetch_add(local);
+#ifdef MOIR_ENABLE_YIELD_POINTS
+    testing::set_yield_probability(0.0, 0);
+#endif
+  });
+
+  auto ctx = m.make_ctx();
+  EXPECT_EQ(m.read(ctx, 0), wins.load())
+      << "each successful DCAS advanced the pair exactly once";
+  EXPECT_EQ(m.read(ctx, 1), wins.load());
+}
+
+// Disjoint-pair stress: threads DCAS random sorted pairs conserving the
+// total sum (move 1 from the lower to the higher cell).
+TEST(McasStress, TransfersConserveSum) {
+  constexpr unsigned kThreads = 4;
+  constexpr std::size_t kCells = 8;
+  Mcas m(kThreads + 1, kCells);
+  for (std::size_t i = 0; i < kCells; ++i) m.set_initial(i, 100);
+
+  run_threads(kThreads, [&](std::size_t tid) {
+    auto ctx = m.make_ctx();
+    Xoshiro256 rng(tid * 3 + 7);
+    for (int i = 0; i < 3000; ++i) {
+      std::uint32_t x = static_cast<std::uint32_t>(rng.next_below(kCells));
+      std::uint32_t y = static_cast<std::uint32_t>(rng.next_below(kCells));
+      if (x == y) continue;
+      if (x > y) std::swap(x, y);
+      const std::uint32_t a[] = {x, y};
+      std::uint64_t snap[2];
+      m.snapshot(ctx, a, snap);
+      if (snap[0] == 0) continue;
+      const std::uint64_t e[] = {snap[0], snap[1]};
+      const std::uint64_t d[] = {snap[0] - 1, snap[1] + 1};
+      m.mcas(ctx, a, e, d);  // failure = someone else moved on; fine
+    }
+  });
+
+  auto ctx = m.make_ctx();
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kCells; ++i) total += m.read(ctx, i);
+  EXPECT_EQ(total, kCells * 100u);
+}
+
+}  // namespace
+}  // namespace moir

@@ -1,0 +1,49 @@
+#include "core/process_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/thread_utils.hpp"
+
+namespace moir {
+namespace {
+
+TEST(ProcessRegistry, DenseIds) {
+  ProcessRegistry r(3);
+  EXPECT_EQ(r.register_process(), 0u);
+  EXPECT_EQ(r.register_process(), 1u);
+  EXPECT_EQ(r.register_process(), 2u);
+  EXPECT_EQ(r.registered(), 3u);
+}
+
+TEST(ProcessRegistry, ConcurrentRegistrationIsRaceFree) {
+  ProcessRegistry r(16);
+  std::set<unsigned> ids;
+  std::mutex m;
+  run_threads(16, [&](std::size_t) {
+    const unsigned id = r.register_process();
+    std::lock_guard<std::mutex> g(m);
+    EXPECT_TRUE(ids.insert(id).second) << "duplicate pid " << id;
+  });
+  EXPECT_EQ(ids.size(), 16u);
+}
+
+TEST(ProcessRegistry, ThisProcessIdStableWithinThread) {
+  ProcessRegistry r(4);
+  const unsigned a = this_process_id(r);
+  const unsigned b = this_process_id(r);
+  EXPECT_EQ(a, b);
+}
+
+TEST(ProcessRegistry, ThisProcessIdRebindsAcrossRegistries) {
+  ProcessRegistry r1(4), r2(4);
+  const unsigned a = this_process_id(r1);
+  const unsigned b = this_process_id(r2);
+  // Both are fresh registrations in their own registry.
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 0u);
+}
+
+}  // namespace
+}  // namespace moir

@@ -1,0 +1,236 @@
+// Figures 6 and 7 over the RLL/RSC word provider — the paper's closing
+// remark of Section 3/4 ("the technique in Figure 3 can be used to acquire
+// the same result using RLL and RSC") under test, including spurious
+// failures. The invariants are identical to the native-CAS variants; only
+// the substrate differs.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "core/bounded_llsc.hpp"
+#include "core/llsc_composed.hpp"
+#include "core/wide_llsc.hpp"
+#include "platform/fault.hpp"
+#include "util/rng.hpp"
+#include "util/thread_utils.hpp"
+
+namespace moir {
+namespace {
+
+using WideRll = WideLlsc<32, RllRscWordProvider>;
+using BoundedRll = BoundedLlsc<16, 10, 18, 20, RllRscWordProvider>;
+
+// ---------------- Figure 6 over RLL/RSC ----------------
+
+TEST(WideLlscOnRllRsc, BasicRoundTrip) {
+  FaultInjector faults;
+  WideRll dom(2, 3, RllRscWordProvider(&faults));
+  WideRll::Var var;
+  const std::vector<std::uint64_t> init{1, 2, 3};
+  dom.init_var(var, init);
+  auto ctx = dom.make_ctx();
+  WideRll::Keep keep;
+  std::vector<std::uint64_t> out(3);
+  ASSERT_TRUE(dom.wll(ctx, var, keep, out).success);
+  EXPECT_EQ(out, init);
+  const std::vector<std::uint64_t> next{4, 5, 6};
+  EXPECT_TRUE(dom.sc(ctx, var, keep, next));
+  dom.read(ctx, var, out);
+  EXPECT_EQ(out, next);
+  EXPECT_STREQ(dom.provider_name(), "rllrsc-cas(fig3)");
+}
+
+TEST(WideLlscOnRllRsc, ScRetriesThroughSpuriousFailures) {
+  FaultInjector faults;
+  WideRll dom(2, 2, RllRscWordProvider(&faults));
+  WideRll::Var var;
+  const std::vector<std::uint64_t> init{7, 8};
+  dom.init_var(var, init);
+  auto ctx = dom.make_ctx();
+  WideRll::Keep keep;
+  std::vector<std::uint64_t> out(2);
+  ASSERT_TRUE(dom.wll(ctx, var, keep, out).success);
+  faults.force_failures(5);
+  EXPECT_TRUE(dom.sc(ctx, var, keep, std::vector<std::uint64_t>{9, 10}));
+  EXPECT_EQ(faults.injected_count(), 5u);
+}
+
+std::uint64_t chain_next32(std::uint64_t x) {
+  SplitMix64 sm(x);
+  return sm.next() & WideRll::kMaxChunk;
+}
+
+TEST(WideLlscOnRllRsc, NoTornReadsUnderContentionAndFaults) {
+  constexpr unsigned kThreads = 4;
+  constexpr unsigned kWidth = 6;
+  FaultInjector faults;
+  faults.set_spurious_probability(0.05);
+  WideRll dom(kThreads, kWidth, RllRscWordProvider(&faults));
+  WideRll::Var var;
+  std::vector<std::uint64_t> init(kWidth);
+  std::uint64_t x = 1;
+  for (auto& c : init) {
+    c = x;
+    x = chain_next32(x);
+  }
+  dom.init_var(var, init);
+
+  std::atomic<std::uint64_t> successes{0};
+  run_threads(kThreads, [&](std::size_t tid) {
+#ifdef MOIR_ENABLE_YIELD_POINTS
+    testing::set_yield_probability(0.05, 2000 + tid);
+#endif
+    auto ctx = dom.make_ctx();
+    Xoshiro256 rng(tid * 17 + 3);
+    std::vector<std::uint64_t> buf(kWidth);
+    std::uint64_t local = 0;
+    for (int i = 0; i < 1500; ++i) {
+      WideRll::Keep keep;
+      if (!dom.wll(ctx, var, keep, buf).success) continue;
+      // verify chain
+      std::uint64_t expect = buf[0];
+      for (const auto c : buf) {
+        ASSERT_EQ(c, expect) << "torn WLL read on RLL/RSC substrate";
+        expect = chain_next32(expect);
+      }
+      std::uint64_t seed = rng.next() & WideRll::kMaxChunk;
+      for (auto& c : buf) {
+        c = seed;
+        seed = chain_next32(seed);
+      }
+      local += dom.sc(ctx, var, keep, buf);
+    }
+    successes.fetch_add(local);
+#ifdef MOIR_ENABLE_YIELD_POINTS
+    testing::set_yield_probability(0.0, 0);
+#endif
+  });
+  EXPECT_GT(successes.load(), 0u);
+}
+
+// ---------------- Figure 7 over RLL/RSC ----------------
+
+TEST(BoundedLlscOnRllRsc, BasicSequence) {
+  FaultInjector faults;
+  BoundedRll dom(2, 1, RllRscWordProvider(&faults));
+  BoundedRll::Var var;
+  dom.init_var(var, 5);
+  auto ctx = dom.make_ctx();
+  BoundedRll::Keep keep;
+  EXPECT_EQ(dom.ll(ctx, var, keep), 5u);
+  EXPECT_TRUE(dom.vl(ctx, var, keep));
+  EXPECT_TRUE(dom.sc(ctx, var, keep, 6));
+  EXPECT_EQ(dom.read(var), 6u);
+}
+
+TEST(BoundedLlscOnRllRsc, CounterInvariantUnderFaults) {
+  constexpr unsigned kThreads = 4;
+  FaultInjector faults;
+  faults.set_spurious_probability(0.1);
+  BoundedRll dom(kThreads, 2, RllRscWordProvider(&faults));
+  BoundedRll::Var var;
+  dom.init_var(var, 0);
+  std::atomic<std::uint64_t> successes{0};
+  run_threads(kThreads, [&](std::size_t) {
+    auto ctx = dom.make_ctx();
+    std::uint64_t local = 0;
+    for (int i = 0; i < 4000; ++i) {
+      BoundedRll::Keep keep;
+      const auto v = dom.ll(ctx, var, keep);
+      local += dom.sc(ctx, var, keep, (v + 1) & dom.max_value());
+    }
+    successes.fetch_add(local);
+  });
+  EXPECT_EQ(dom.read(var), successes.load() & dom.max_value());
+  EXPECT_GT(faults.injected_count(), 0u);
+}
+
+// ---------------- The two-tag composition ----------------
+
+using Comp = LlscComposed<16>;
+
+TEST(LlscComposed, FieldBudget) {
+  EXPECT_EQ(Comp::kValBits, 16u);
+  EXPECT_EQ(Comp::kOuterTagBits, 24u);
+  EXPECT_EQ(Comp::kInnerTagBits, 24u);
+}
+
+TEST(LlscComposed, BasicSequence) {
+  Comp::Var var(3);
+  Processor p;
+  Comp::Keep keep;
+  EXPECT_EQ(Comp::ll(var, keep), 3u);
+  EXPECT_TRUE(Comp::vl(var, keep));
+  EXPECT_TRUE(Comp::sc(p, var, keep, 4));
+  EXPECT_EQ(Comp::read(var), 4u);
+}
+
+TEST(LlscComposed, ScFailsAfterInterveningSc) {
+  Comp::Var var(1);
+  Processor p, q;
+  Comp::Keep kp, kq;
+  Comp::ll(var, kp);
+  Comp::ll(var, kq);
+  EXPECT_TRUE(Comp::sc(q, var, kq, 2));
+  EXPECT_FALSE(Comp::sc(p, var, kp, 3));
+  EXPECT_FALSE(Comp::vl(var, kp));
+}
+
+TEST(LlscComposed, DetectsAbaWithinOuterTagRange) {
+  Comp::Var var(1);
+  Processor p, q;
+  Comp::Keep victim, k;
+  Comp::ll(var, victim);
+  Comp::ll(var, k);
+  ASSERT_TRUE(Comp::sc(q, var, k, 2));
+  Comp::ll(var, k);
+  ASSERT_TRUE(Comp::sc(q, var, k, 1));
+  EXPECT_FALSE(Comp::sc(p, var, victim, 9));
+}
+
+TEST(LlscComposed, ConcurrentCounterInvariant) {
+  Comp::Var var(0);
+  std::atomic<std::uint64_t> successes{0};
+  run_threads(4, [&](std::size_t) {
+    Processor p;
+    std::uint64_t local = 0;
+    for (int i = 0; i < 5000; ++i) {
+      Comp::Keep keep;
+      const auto v = Comp::ll(var, keep);
+      local += Comp::sc(p, var, keep, (v + 1) & Comp::kMaxValue);
+    }
+    successes.fetch_add(local);
+  });
+  EXPECT_EQ(Comp::read(var), successes.load() & Comp::kMaxValue);
+}
+
+// The composition's weakness, demonstrated: the outer tag is the ONLY
+// protection across an LL-SC sequence — the inner (Figure 3) tag is
+// consumed within each single CAS invocation, which re-reads the word
+// fresh at its line 1 and so cannot notice history. With a deliberately
+// tiny 8-bit outer tag, 2^8 SCs wrap it and a stale SC erroneously
+// succeeds. This is the mechanism behind the paper's warning that
+// composing "substantially reduces the time needed for the tags to wrap
+// around", and the reason Figure 5 exists.
+TEST(LlscComposed, TinyOuterTagWrapsAndErrs) {
+  using Tiny = LlscComposed<16, 8>;  // 8-bit outer tag, 40-bit inner
+  Tiny::Var var(1);
+  Processor p, q;
+  Tiny::Keep victim;
+  Tiny::ll(var, victim);
+  for (int i = 0; i < 256; ++i) {
+    Tiny::Keep k;
+    const auto v = Tiny::ll(var, k);
+    ASSERT_TRUE(Tiny::sc(q, var, k, v == 1 ? 2 : 1));
+  }
+  // Word is bit-identical in [outer tag | value]; the inner CAS cannot
+  // help because it reads the inner tag fresh. The error fires:
+  EXPECT_TRUE(Tiny::sc(p, var, victim, 9))
+      << "expected the composition's wraparound error to reproduce";
+  // Figure 5 with a single 48-bit tag would need 2^48 SCs for the same
+  // error; LlscComposed<16> (24-bit outer) needs 2^24 — the halved budget.
+}
+
+}  // namespace
+}  // namespace moir

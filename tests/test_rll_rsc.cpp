@@ -1,0 +1,177 @@
+#include "platform/rll_rsc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace moir {
+namespace {
+
+TEST(RllRsc, RllReadsCurrentValue) {
+  RllWord w(42);
+  Processor p;
+  EXPECT_EQ(p.rll(w), 42u);
+  EXPECT_EQ(w.read(), 42u);
+}
+
+TEST(RllRsc, RscSucceedsWhenUnchanged) {
+  RllWord w(1);
+  Processor p;
+  p.rll(w);
+  EXPECT_TRUE(p.rsc(w, 2));
+  EXPECT_EQ(w.read(), 2u);
+  EXPECT_EQ(w.write_count(), 1u);
+}
+
+TEST(RllRsc, RscFailsAfterInterveningWrite) {
+  RllWord w(1);
+  Processor p, q;
+  p.rll(w);
+  q.rll(w);
+  EXPECT_TRUE(q.rsc(w, 5));
+  EXPECT_FALSE(p.rsc(w, 9));
+  EXPECT_EQ(w.read(), 5u);
+  EXPECT_EQ(p.stats().conflict_failures, 1u);
+}
+
+// A reservation must be cleared by ANY intervening write, even one that
+// restores the original value (ABA). This is what distinguishes the
+// versioned emulation from plain CAS.
+TEST(RllRsc, RscDetectsAba) {
+  RllWord w(1);
+  Processor victim, other;
+  victim.rll(w);
+  other.rll(w);
+  ASSERT_TRUE(other.rsc(w, 2));
+  other.rll(w);
+  ASSERT_TRUE(other.rsc(w, 1));  // value back to original
+  EXPECT_EQ(w.read(), 1u);
+  EXPECT_FALSE(victim.rsc(w, 7)) << "versioned RSC must fail on ABA";
+}
+
+// The weak (value-only) flavour is ABA-blind by design.
+TEST(RllRsc, WeakRscIsAbaBlind) {
+  RllWord w(1);
+  Processor victim, other;
+  victim.rll(w);
+  other.rll(w);
+  ASSERT_TRUE(other.rsc(w, 2));
+  other.rll(w);
+  ASSERT_TRUE(other.rsc(w, 1));
+  EXPECT_TRUE(victim.rsc_weak(w, 7));
+  EXPECT_EQ(w.read(), 7u);
+}
+
+TEST(RllRsc, WeakRscStillFailsOnRealChange) {
+  RllWord w(1);
+  Processor victim, other;
+  victim.rll(w);
+  other.rll(w);
+  ASSERT_TRUE(other.rsc(w, 2));
+  EXPECT_FALSE(victim.rsc_weak(w, 7));
+}
+
+// Restriction: one reservation per processor. A second RLL replaces the
+// first (the R4000 has a single LLBit).
+TEST(RllRsc, SecondRllReplacesReservation) {
+  RllWord a(1), b(2);
+  Processor p;
+  p.rll(a);
+  p.rll(b);  // reservation now on b
+  EXPECT_TRUE(p.rsc(b, 20));
+#ifdef MOIR_DISABLE_ASSERTS
+  EXPECT_FALSE(p.rsc(a, 10));
+#endif
+  EXPECT_EQ(a.read(), 1u);
+  EXPECT_EQ(b.read(), 20u);
+}
+
+TEST(RllRsc, ReservationConsumedByRsc) {
+  RllWord w(0);
+  Processor p;
+  p.rll(w);
+  EXPECT_TRUE(p.has_reservation());
+  EXPECT_TRUE(p.rsc(w, 1));
+  EXPECT_FALSE(p.has_reservation());
+}
+
+TEST(RllRsc, SpuriousFailureInjection) {
+  RllWord w(0);
+  FaultInjector faults;
+  Processor p(&faults);
+  faults.force_failures(2);
+  p.rll(w);
+  EXPECT_FALSE(p.rsc(w, 1));  // spurious
+  p.rll(w);
+  EXPECT_FALSE(p.rsc(w, 1));  // spurious
+  p.rll(w);
+  EXPECT_TRUE(p.rsc(w, 1));  // forced failures exhausted
+  EXPECT_EQ(p.stats().spurious_failures, 2u);
+  EXPECT_EQ(p.stats().successes, 1u);
+}
+
+TEST(RllRsc, StatsCountAttempts) {
+  RllWord w(0);
+  Processor p;
+  for (int i = 0; i < 5; ++i) {
+    p.rll(w);
+    ASSERT_TRUE(p.rsc(w, i));
+  }
+  EXPECT_EQ(p.stats().attempts, 5u);
+  EXPECT_EQ(p.stats().successes, 5u);
+  p.reset_stats();
+  EXPECT_EQ(p.stats().attempts, 0u);
+}
+
+// N threads perform RLL/RSC increments; every successful RSC must represent
+// exactly one increment (no lost updates), and version equals total writes.
+TEST(RllRscStress, NoLostUpdates) {
+  RllWord w(0);
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kIncrementsEach = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&w] {
+      Processor p;
+      for (std::uint64_t i = 0; i < kIncrementsEach; ++i) {
+        for (;;) {
+          const std::uint64_t v = p.rll(w);
+          if (p.rsc(w, v + 1)) break;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(w.read(), kThreads * kIncrementsEach);
+  EXPECT_EQ(w.write_count(), kThreads * kIncrementsEach);
+}
+
+// Same under a high spurious-failure rate: progress and correctness hold
+// (wait-freedom is conditional on finitely many spurious failures per op,
+// which a 30% Bernoulli rate gives with probability 1).
+TEST(RllRscStress, NoLostUpdatesWithSpuriousFailures) {
+  RllWord w(0);
+  FaultInjector faults;
+  faults.set_spurious_probability(0.3);
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kIncrementsEach = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&w, &faults] {
+      Processor p(&faults);
+      for (std::uint64_t i = 0; i < kIncrementsEach; ++i) {
+        for (;;) {
+          const std::uint64_t v = p.rll(w);
+          if (p.rsc(w, v + 1)) break;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(w.read(), kThreads * kIncrementsEach);
+  EXPECT_GT(faults.injected_count(), 0u);
+}
+
+}  // namespace
+}  // namespace moir

@@ -1,0 +1,44 @@
+#include "core/slot_stack.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace moir {
+namespace {
+
+TEST(SlotStack, StartsWithAllSlots) {
+  SlotStack s(4);
+  EXPECT_EQ(s.available(), 4u);
+}
+
+TEST(SlotStack, PopYieldsDistinctSlotsInRange) {
+  SlotStack s(5);
+  std::set<unsigned> seen;
+  for (int i = 0; i < 5; ++i) {
+    const unsigned slot = s.pop();
+    EXPECT_LT(slot, 5u);
+    EXPECT_TRUE(seen.insert(slot).second) << "duplicate slot";
+  }
+  EXPECT_EQ(s.available(), 0u);
+}
+
+TEST(SlotStack, PushMakesSlotReusable) {
+  SlotStack s(1);
+  const unsigned a = s.pop();
+  s.push(a);
+  EXPECT_EQ(s.pop(), a);
+}
+
+TEST(SlotStack, LifoOrder) {
+  SlotStack s(3);
+  const unsigned a = s.pop();
+  const unsigned b = s.pop();
+  s.push(a);
+  s.push(b);
+  EXPECT_EQ(s.pop(), b);
+  EXPECT_EQ(s.pop(), a);
+}
+
+}  // namespace
+}  // namespace moir

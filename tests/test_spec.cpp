@@ -1,0 +1,130 @@
+// Unit tests for the Figure-2 sequential specs and the history recorder —
+// the checker's foundations must themselves be trustworthy.
+#include "verify/spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/thread_utils.hpp"
+#include "verify/history.hpp"
+
+namespace moir {
+namespace {
+
+Operation op(unsigned proc, OpKind kind, std::uint64_t arg,
+             std::uint64_t ret) {
+  return Operation{proc, kind, arg, ret, 0, 0};
+}
+
+// ---- LL/VL/SC spec ----
+
+TEST(LlscSpec, LlSetsValidAndReturnsValue) {
+  LlscRegisterSpec::State s{7, 0};
+  const auto next = LlscRegisterSpec::apply(s, op(2, OpKind::kLl, 0, 7));
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->value, 7u);
+  EXPECT_EQ(next->valid, 1u << 2);
+}
+
+TEST(LlscSpec, LlWithWrongReturnRejected) {
+  LlscRegisterSpec::State s{7, 0};
+  EXPECT_FALSE(LlscRegisterSpec::apply(s, op(0, OpKind::kLl, 0, 8)));
+}
+
+TEST(LlscSpec, VlReflectsValidBit) {
+  LlscRegisterSpec::State s{7, 1u << 1};
+  EXPECT_TRUE(LlscRegisterSpec::apply(s, op(1, OpKind::kVl, 0, 1)));
+  EXPECT_TRUE(LlscRegisterSpec::apply(s, op(0, OpKind::kVl, 0, 0)));
+  EXPECT_FALSE(LlscRegisterSpec::apply(s, op(0, OpKind::kVl, 0, 1)));
+}
+
+TEST(LlscSpec, SuccessfulScWritesAndClearsAllValidBits) {
+  LlscRegisterSpec::State s{7, 0b1011};
+  const auto next = LlscRegisterSpec::apply(s, op(0, OpKind::kSc, 9, 1));
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->value, 9u);
+  EXPECT_EQ(next->valid, 0u) << "every process's valid bit must clear";
+}
+
+TEST(LlscSpec, FailedScLeavesStateAlone) {
+  LlscRegisterSpec::State s{7, 0b0010};
+  const auto next = LlscRegisterSpec::apply(s, op(0, OpKind::kSc, 9, 0));
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->value, 7u);
+  EXPECT_EQ(next->valid, 0b0010u);
+}
+
+TEST(LlscSpec, ScReturnMustMatchValidity) {
+  LlscRegisterSpec::State s{7, 0b0001};
+  // proc 0 is valid: claiming failure is a contradiction.
+  EXPECT_FALSE(LlscRegisterSpec::apply(s, op(0, OpKind::kSc, 9, 0)));
+  // proc 1 is not valid: claiming success is a contradiction.
+  EXPECT_FALSE(LlscRegisterSpec::apply(s, op(1, OpKind::kSc, 9, 1)));
+}
+
+TEST(LlscSpec, ReadChecksValue) {
+  LlscRegisterSpec::State s{7, 0};
+  EXPECT_TRUE(LlscRegisterSpec::apply(s, op(0, OpKind::kRead, 0, 7)));
+  EXPECT_FALSE(LlscRegisterSpec::apply(s, op(0, OpKind::kRead, 0, 8)));
+}
+
+// ---- CAS spec ----
+
+TEST(CasSpec, SuccessfulCasWrites) {
+  CasRegisterSpec::State s{5};
+  const auto next = CasRegisterSpec::apply(
+      s, op(0, OpKind::kCas, CasRegisterSpec::pack_args(5, 6), 1));
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->value, 6u);
+}
+
+TEST(CasSpec, FailedCasMustReportFailure) {
+  CasRegisterSpec::State s{5};
+  EXPECT_TRUE(CasRegisterSpec::apply(
+      s, op(0, OpKind::kCas, CasRegisterSpec::pack_args(4, 6), 0)));
+  EXPECT_FALSE(CasRegisterSpec::apply(
+      s, op(0, OpKind::kCas, CasRegisterSpec::pack_args(4, 6), 1)));
+  EXPECT_FALSE(CasRegisterSpec::apply(
+      s, op(0, OpKind::kCas, CasRegisterSpec::pack_args(5, 6), 0)));
+}
+
+TEST(CasSpec, WrongKindRejected) {
+  CasRegisterSpec::State s{5};
+  EXPECT_FALSE(CasRegisterSpec::apply(s, op(0, OpKind::kLl, 0, 5)));
+}
+
+// ---- history recorder ----
+
+TEST(HistoryRecorder, TimestampsAreUniqueAndOrdered) {
+  HistoryRecorder rec(2);
+  const auto a = rec.now();
+  const auto b = rec.now();
+  EXPECT_LT(a, b);
+}
+
+TEST(HistoryRecorder, CollectSortsByInvocation) {
+  HistoryRecorder rec(2);
+  const auto inv0 = rec.now();
+  const auto inv1 = rec.now();
+  rec.add(1, 1, OpKind::kLl, 0, 5, inv1);  // added out of order
+  rec.add(0, 0, OpKind::kLl, 0, 5, inv0);
+  const auto h = rec.collect();
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_EQ(h[0].proc, 0u);
+  EXPECT_EQ(h[1].proc, 1u);
+  EXPECT_LT(h[0].inv_ts, h[0].res_ts);
+}
+
+TEST(HistoryRecorder, ConcurrentRecordingIsComplete) {
+  HistoryRecorder rec(4);
+  run_threads(4, [&](std::size_t tid) {
+    for (int i = 0; i < 100; ++i) {
+      const auto inv = rec.now();
+      rec.add(static_cast<unsigned>(tid), static_cast<unsigned>(tid),
+              OpKind::kRead, 0, 0, inv);
+    }
+  });
+  EXPECT_EQ(rec.collect().size(), 400u);
+}
+
+}  // namespace
+}  // namespace moir

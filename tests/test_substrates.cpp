@@ -1,0 +1,152 @@
+// Typed tests exercising every SmallLlscSubstrate through the uniform
+// interface — the portability claim of the paper made executable: the same
+// test body runs on Figure 4, Figure 5, the lock baseline, and the naive
+// strawman. (Figure 7 joins in test_bounded_llsc.cpp, which also covers its
+// substrate conformance; its constructor needs N and k.)
+#include "core/llsc_traits.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace moir {
+namespace {
+
+static_assert(SmallLlscSubstrate<CasBackedLlsc<16>>);
+static_assert(SmallLlscSubstrate<RllBackedLlsc<16>>);
+static_assert(SmallLlscSubstrate<ComposedBackedLlsc<16>>);
+static_assert(SmallLlscSubstrate<LockBackedLlsc<16>>);
+static_assert(SmallLlscSubstrate<NaiveCasLlsc<16>>);
+
+template <typename S>
+class SubstrateTest : public ::testing::Test {
+ protected:
+  S substrate_{};
+};
+
+using Substrates =
+    ::testing::Types<CasBackedLlsc<16>, RllBackedLlsc<16>,
+                     ComposedBackedLlsc<16>, LockBackedLlsc<16>,
+                     NaiveCasLlsc<16>>;
+TYPED_TEST_SUITE(SubstrateTest, Substrates);
+
+TYPED_TEST(SubstrateTest, InitAndRead) {
+  auto& s = this->substrate_;
+  typename TypeParam::Var var;
+  s.init_var(var, 37);
+  EXPECT_EQ(s.read(var), 37u);
+}
+
+TYPED_TEST(SubstrateTest, LlVlScRoundTrip) {
+  auto& s = this->substrate_;
+  typename TypeParam::Var var;
+  s.init_var(var, 5);
+  auto ctx = s.make_ctx();
+  typename TypeParam::Keep keep;
+  EXPECT_EQ(s.ll(ctx, var, keep), 5u);
+  EXPECT_TRUE(s.vl(ctx, var, keep));
+  EXPECT_TRUE(s.sc(ctx, var, keep, 6));
+  EXPECT_EQ(s.read(var), 6u);
+}
+
+TYPED_TEST(SubstrateTest, ScFailsAfterInterferingSc) {
+  auto& s = this->substrate_;
+  typename TypeParam::Var var;
+  s.init_var(var, 1);
+  auto ctx = s.make_ctx();
+  typename TypeParam::Keep mine, other;
+  s.ll(ctx, var, mine);
+  s.ll(ctx, var, other);
+  EXPECT_TRUE(s.sc(ctx, var, other, 2));
+  EXPECT_FALSE(s.sc(ctx, var, mine, 3));
+  EXPECT_FALSE(s.vl(ctx, var, mine));
+  EXPECT_EQ(s.read(var), 2u);
+}
+
+TYPED_TEST(SubstrateTest, ClEndsASequence) {
+  auto& s = this->substrate_;
+  typename TypeParam::Var var;
+  s.init_var(var, 1);
+  auto ctx = s.make_ctx();
+  for (int i = 0; i < 100; ++i) {
+    typename TypeParam::Keep keep;
+    s.ll(ctx, var, keep);
+    s.cl(ctx, keep);  // abandoning must not leak per-sequence resources
+  }
+  typename TypeParam::Keep keep;
+  s.ll(ctx, var, keep);
+  EXPECT_TRUE(s.sc(ctx, var, keep, 2));
+}
+
+TYPED_TEST(SubstrateTest, MaxValueStoresAndReads) {
+  auto& s = this->substrate_;
+  typename TypeParam::Var var;
+  s.init_var(var, 0);
+  auto ctx = s.make_ctx();
+  typename TypeParam::Keep keep;
+  s.ll(ctx, var, keep);
+  EXPECT_TRUE(s.sc(ctx, var, keep, s.max_value()));
+  EXPECT_EQ(s.read(var), s.max_value());
+}
+
+TYPED_TEST(SubstrateTest, ConcurrentCounterInvariant) {
+  auto& s = this->substrate_;
+  typename TypeParam::Var var;
+  s.init_var(var, 0);
+  std::atomic<std::uint64_t> successes{0};
+  constexpr int kThreads = 4;
+  constexpr int kAttempts = 5000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&] {
+      auto ctx = s.make_ctx();
+      std::uint64_t local = 0;
+      for (int i = 0; i < kAttempts; ++i) {
+        typename TypeParam::Keep keep;
+        const auto v = s.ll(ctx, var, keep);
+        local += s.sc(ctx, var, keep, (v + 1) & s.max_value());
+      }
+      successes.fetch_add(local);
+    });
+  }
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(s.read(var), successes.load() & s.max_value());
+}
+
+// The ABA demonstration: the paper's tagged constructions detect value
+// restoration; the naive strawman does not. This is the concrete failure
+// mode that makes "LL = load, SC = CAS" wrong for the algorithms in
+// [2,3,4,7,10,14].
+template <typename S>
+bool sc_succeeds_after_aba(S& s) {
+  typename S::Var var;
+  s.init_var(var, 1);
+  auto ctx = s.make_ctx();
+  typename S::Keep victim, k;
+  s.ll(ctx, var, victim);
+  s.ll(ctx, var, k);
+  if (!s.sc(ctx, var, k, 2)) ADD_FAILURE();
+  s.ll(ctx, var, k);
+  if (!s.sc(ctx, var, k, 1)) ADD_FAILURE();  // value restored: ABA
+  return s.sc(ctx, var, victim, 9);
+}
+
+TEST(AbaDemonstration, PaperConstructionsDetectAba) {
+  CasBackedLlsc<16> fig4;
+  EXPECT_FALSE(sc_succeeds_after_aba(fig4));
+  RllBackedLlsc<16> fig5;
+  EXPECT_FALSE(sc_succeeds_after_aba(fig5));
+  LockBackedLlsc<16> lock;
+  EXPECT_FALSE(sc_succeeds_after_aba(lock));
+}
+
+TEST(AbaDemonstration, NaiveCasIsFooledByAba) {
+  NaiveCasLlsc<16> naive;
+  EXPECT_TRUE(sc_succeeds_after_aba(naive))
+      << "if this fails the strawman stopped being a strawman";
+}
+
+}  // namespace
+}  // namespace moir

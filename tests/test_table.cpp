@@ -1,0 +1,41 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace moir {
+namespace {
+
+TEST(Table, RenderAligned) {
+  Table t("demo");
+  t.columns({"name", "value"});
+  t.row({"a", "1"});
+  t.row({"longer", "23"});
+  const std::string r = t.render();
+  EXPECT_NE(r.find("demo"), std::string::npos);
+  EXPECT_NE(r.find("| a      | 1     |"), std::string::npos);
+  EXPECT_NE(r.find("| longer | 23    |"), std::string::npos);
+}
+
+TEST(Table, Csv) {
+  Table t("demo");
+  t.columns({"x", "y"});
+  t.row({"1", "2"});
+  EXPECT_EQ(t.csv(), "x,y\n1,2\n");
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(std::uint64_t{42}), "42");
+  EXPECT_EQ(Table::num(std::int64_t{-7}), "-7");
+}
+
+TEST(Table, ShortRowsPadded) {
+  Table t("demo");
+  t.columns({"a", "b", "c"});
+  t.row({"1"});
+  // Must not crash; missing cells render empty.
+  EXPECT_NE(t.render().find("| 1 |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace moir

@@ -1,0 +1,80 @@
+#include "core/tag_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/rng.hpp"
+
+namespace moir {
+namespace {
+
+TEST(TagQueue, InitiallyAscending) {
+  TagQueue q(5);
+  EXPECT_EQ(q.snapshot(), (std::vector<std::uint32_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(TagQueue, RotateCyclesThroughAll) {
+  TagQueue q(4);
+  for (std::uint32_t expect : {0u, 1u, 2u, 3u, 0u, 1u}) {
+    EXPECT_EQ(q.rotate(), expect);
+  }
+}
+
+TEST(TagQueue, MoveToBackFromFront) {
+  TagQueue q(4);
+  q.move_to_back(0);
+  EXPECT_EQ(q.snapshot(), (std::vector<std::uint32_t>{1, 2, 3, 0}));
+}
+
+TEST(TagQueue, MoveToBackFromMiddle) {
+  TagQueue q(4);
+  q.move_to_back(2);
+  EXPECT_EQ(q.snapshot(), (std::vector<std::uint32_t>{0, 1, 3, 2}));
+}
+
+TEST(TagQueue, MoveToBackOfTailIsNoop) {
+  TagQueue q(4);
+  q.move_to_back(3);
+  EXPECT_EQ(q.snapshot(), (std::vector<std::uint32_t>{0, 1, 2, 3}));
+}
+
+TEST(TagQueue, MembershipIsInvariant) {
+  TagQueue q(7);
+  Xoshiro256 rng(123);
+  for (int i = 0; i < 1000; ++i) {
+    if (rng.chance(1, 2)) {
+      q.move_to_back(static_cast<std::uint32_t>(rng.next_below(7)));
+    } else {
+      q.rotate();
+    }
+    auto snap = q.snapshot();
+    ASSERT_EQ(snap.size(), 7u);
+    std::sort(snap.begin(), snap.end());
+    std::vector<std::uint32_t> expect(7);
+    std::iota(expect.begin(), expect.end(), 0);
+    ASSERT_EQ(snap, expect) << "queue must remain a permutation of all tags";
+  }
+}
+
+// The property Figure 7's safety rests on: a value moved to the back cannot
+// reach the front again until every other value has been dequeued once.
+TEST(TagQueue, MovedTagNeedsFullCycleToResurface) {
+  const std::uint32_t n = 9;
+  TagQueue q(n);
+  q.move_to_back(0);
+  int rotations_until_zero = 0;
+  while (q.rotate() != 0) ++rotations_until_zero;
+  EXPECT_EQ(rotations_until_zero, static_cast<int>(n - 1));
+}
+
+TEST(TagQueue, MinimumCapacity) {
+  TagQueue q(2);
+  EXPECT_EQ(q.rotate(), 0u);
+  q.move_to_back(0);
+  EXPECT_EQ(q.rotate(), 1u);
+}
+
+}  // namespace
+}  // namespace moir

@@ -1,0 +1,70 @@
+#include "core/tagged_word.hpp"
+
+#include <gtest/gtest.h>
+
+namespace moir {
+namespace {
+
+TEST(TaggedWord, FieldWidthsFollowTemplateParameter) {
+  EXPECT_EQ(TaggedWord<16>::kTagBits, 48u);
+  EXPECT_EQ(TaggedWord<16>::kMaxValue, 0xffffu);
+  EXPECT_EQ(TaggedWord<32>::kTagBits, 32u);
+  EXPECT_EQ(TaggedWord<1>::kMaxValue, 1u);
+  EXPECT_EQ(TaggedWord<63>::kMaxTag, 1u);
+}
+
+TEST(TaggedWord, MakeRoundTrip) {
+  const auto w = TaggedWord<16>::make(0x123456789abcULL, 0xbeef);
+  EXPECT_EQ(w.tag(), 0x123456789abcULL);
+  EXPECT_EQ(w.value(), 0xbeefu);
+}
+
+TEST(TaggedWord, RawRoundTrip) {
+  const auto w = TaggedWord<16>::make(7, 9);
+  EXPECT_EQ(TaggedWord<16>::from_raw(w.raw()), w);
+}
+
+TEST(TaggedWord, SuccessorBumpsTagAndReplacesValue) {
+  const auto w = TaggedWord<16>::make(10, 1);
+  const auto s = w.successor(2);
+  EXPECT_EQ(s.tag(), 11u);
+  EXPECT_EQ(s.value(), 2u);
+}
+
+TEST(TaggedWord, SuccessorWrapsTag) {
+  const auto w = TaggedWord<16>::make(TaggedWord<16>::kMaxTag, 5);
+  EXPECT_EQ(w.successor(5).tag(), 0u);
+}
+
+TEST(TaggedWord, EqualityComparesBothFields) {
+  const auto a = TaggedWord<16>::make(1, 2);
+  EXPECT_EQ(a, TaggedWord<16>::make(1, 2));
+  EXPECT_NE(a, TaggedWord<16>::make(1, 3));
+  EXPECT_NE(a, TaggedWord<16>::make(2, 2));
+}
+
+// Property sweep across splits: pack/unpack identity on boundary values.
+template <unsigned VB>
+void round_trip_boundaries() {
+  using W = TaggedWord<VB>;
+  for (std::uint64_t tag : {std::uint64_t{0}, std::uint64_t{1}, W::kMaxTag}) {
+    for (std::uint64_t val :
+         {std::uint64_t{0}, std::uint64_t{1}, W::kMaxValue}) {
+      const auto w = W::make(tag, val);
+      EXPECT_EQ(w.tag(), tag) << "VB=" << VB;
+      EXPECT_EQ(w.value(), val) << "VB=" << VB;
+    }
+  }
+}
+
+TEST(TaggedWord, RoundTripAcrossSplits) {
+  round_trip_boundaries<1>();
+  round_trip_boundaries<8>();
+  round_trip_boundaries<16>();
+  round_trip_boundaries<32>();
+  round_trip_boundaries<48>();
+  round_trip_boundaries<63>();
+}
+
+}  // namespace
+}  // namespace moir

@@ -1,0 +1,126 @@
+// TreiberStack across substrates: LIFO semantics, pool recycling, and the
+// multiset-conservation stress invariant.
+#include "nonblocking/treiber_stack.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <mutex>
+
+#include "core/bounded_llsc.hpp"
+#include "util/rng.hpp"
+#include "util/thread_utils.hpp"
+
+namespace moir {
+namespace {
+
+template <typename S>
+class StackTest : public ::testing::Test {
+ protected:
+  S substrate_{};
+};
+
+using Substrates =
+    ::testing::Types<CasBackedLlsc<16>, RllBackedLlsc<16>,
+                     ComposedBackedLlsc<16>, LockBackedLlsc<16>>;
+TYPED_TEST_SUITE(StackTest, Substrates);
+
+TYPED_TEST(StackTest, LifoOrder) {
+  auto ctx = this->substrate_.make_ctx();
+  TreiberStack<TypeParam> st(this->substrate_, 16, ctx);
+  EXPECT_TRUE(st.empty());
+  for (std::uint64_t v : {1, 2, 3}) EXPECT_TRUE(st.push(ctx, v));
+  EXPECT_EQ(st.pop(ctx), 3u);
+  EXPECT_EQ(st.pop(ctx), 2u);
+  EXPECT_EQ(st.pop(ctx), 1u);
+  EXPECT_EQ(st.pop(ctx), std::nullopt);
+  EXPECT_TRUE(st.empty());
+}
+
+TYPED_TEST(StackTest, CapacityExhaustionAndRecycling) {
+  auto ctx = this->substrate_.make_ctx();
+  TreiberStack<TypeParam> st(this->substrate_, 4, ctx);
+  for (std::uint64_t v = 0; v < 4; ++v) EXPECT_TRUE(st.push(ctx, v));
+  EXPECT_FALSE(st.push(ctx, 99)) << "pool exhausted";
+  EXPECT_EQ(st.pop(ctx), 3u);
+  EXPECT_TRUE(st.push(ctx, 42)) << "freed node must be reusable";
+  EXPECT_EQ(st.pop(ctx), 42u);
+}
+
+TYPED_TEST(StackTest, HeavyRecyclingSingleThread) {
+  auto ctx = this->substrate_.make_ctx();
+  TreiberStack<TypeParam> st(this->substrate_, 2, ctx);
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    ASSERT_TRUE(st.push(ctx, i & 0xfff));
+    ASSERT_EQ(st.pop(ctx), i & 0xfff);
+  }
+}
+
+// Conservation under concurrency: whatever was pushed and not popped must
+// equal the final stack contents, as multisets. Every popped value must
+// have been pushed. Tiny pool maximizes node recycling (= ABA pressure).
+TYPED_TEST(StackTest, ConcurrentConservation) {
+  auto& s = this->substrate_;
+  auto init_ctx = s.make_ctx();
+  TreiberStack<TypeParam> st(s, 8, init_ctx);
+  constexpr int kThreads = 4;
+  constexpr int kOpsEach = 8000;
+
+  std::mutex m;
+  std::map<std::uint64_t, std::int64_t> balance;  // pushed - popped per value
+
+  run_threads(kThreads, [&](std::size_t tid) {
+    auto ctx = s.make_ctx();
+    Xoshiro256 rng(tid * 101 + 7);
+    std::map<std::uint64_t, std::int64_t> local;
+    for (int i = 0; i < kOpsEach; ++i) {
+      if (rng.chance(1, 2)) {
+        const std::uint64_t v = (tid << 12) | (i & 0xfff);
+        if (st.push(ctx, v)) local[v] += 1;
+      } else {
+        if (const auto v = st.pop(ctx)) local[*v] -= 1;
+      }
+    }
+    std::lock_guard<std::mutex> g(m);
+    for (const auto& [v, d] : local) balance[v] += d;
+  });
+
+  auto ctx = s.make_ctx();
+  while (const auto v = st.pop(ctx)) balance[*v] -= 1;
+  for (const auto& [v, d] : balance) {
+    EXPECT_EQ(d, 0) << "value " << v << " lost or duplicated";
+  }
+}
+
+// Figure 7 variant with bounded tags: same conservation invariant while
+// tags recycle constantly.
+TEST(StackOnBoundedLlsc, ConcurrentConservation) {
+  constexpr unsigned kThreads = 4;
+  BoundedLlsc<> s(kThreads + 2, 1);
+  auto init_ctx = s.make_ctx();
+  TreiberStack<BoundedLlsc<>> st(s, 8, init_ctx);
+  std::atomic<std::int64_t> net{0};
+
+  run_threads(kThreads, [&](std::size_t tid) {
+    auto ctx = s.make_ctx();
+    Xoshiro256 rng(tid + 1);
+    std::int64_t local = 0;
+    for (int i = 0; i < 5000; ++i) {
+      if (rng.chance(1, 2)) {
+        local += st.push(ctx, 1);
+      } else {
+        local -= st.pop(ctx).has_value();
+      }
+    }
+    net.fetch_add(local);
+  });
+
+  auto ctx = s.make_ctx();
+  std::int64_t remaining = 0;
+  while (st.pop(ctx)) ++remaining;
+  EXPECT_EQ(remaining, net.load());
+}
+
+}  // namespace
+}  // namespace moir

@@ -1,0 +1,110 @@
+// The tag/value split is the paper's §1 trade-off knob; the algorithms
+// must be correct at every split, not just the 48/16 default. This sweep
+// runs the counter invariant on Figures 4 and 5 across extreme splits —
+// including 1-bit values (tag-dominated) and 63-bit values (a single tag
+// bit, wrapping every other SC: correctness must come from the CAS/RSC
+// comparing the whole word, with the tag only needed to separate identical
+// values, which a 1-bit tag still does for ABA distance 1... it does NOT
+// for distance 2, which the dedicated wraparound test in bench/E6 and
+// test_rll_backed_wide_bounded.cpp demonstrate; here concurrent increments
+// never reproduce a full word, so even tiny tags must never lose updates).
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "core/llsc_from_cas.hpp"
+#include "core/llsc_from_rllrsc.hpp"
+#include "util/thread_utils.hpp"
+
+namespace moir {
+namespace {
+
+template <unsigned ValBits>
+void fig4_counter_sweep() {
+  using L = LlscFromCas<ValBits>;
+  typename L::Var var(0);
+  std::atomic<std::uint64_t> successes{0};
+  run_threads(4, [&](std::size_t) {
+    std::uint64_t local = 0;
+    for (int i = 0; i < 4000; ++i) {
+      typename L::Keep keep;
+      const std::uint64_t v = L::ll(var, keep);
+      local += L::sc(var, keep, (v + 1) & L::Word::kMaxValue);
+    }
+    successes.fetch_add(local);
+  });
+  EXPECT_EQ(var.read(), successes.load() & L::Word::kMaxValue)
+      << "ValBits=" << ValBits;
+}
+
+TEST(ValBitsSweep, Fig4AcrossSplits) {
+  fig4_counter_sweep<1>();
+  fig4_counter_sweep<8>();
+  fig4_counter_sweep<16>();
+  fig4_counter_sweep<32>();
+  fig4_counter_sweep<48>();
+  fig4_counter_sweep<56>();
+}
+
+template <unsigned ValBits>
+void fig5_counter_sweep() {
+  using L = LlscFromRllRsc<ValBits>;
+  FaultInjector faults;
+  faults.set_spurious_probability(0.05);
+  typename L::Var var(0);
+  std::atomic<std::uint64_t> successes{0};
+  run_threads(4, [&](std::size_t) {
+    Processor proc(&faults);
+    std::uint64_t local = 0;
+    for (int i = 0; i < 3000; ++i) {
+      typename L::Keep keep;
+      const std::uint64_t v = L::ll(var, keep);
+      local += L::sc(proc, var, keep, (v + 1) & L::Word::kMaxValue);
+    }
+    successes.fetch_add(local);
+  });
+  EXPECT_EQ(var.read(), successes.load() & L::Word::kMaxValue)
+      << "ValBits=" << ValBits;
+}
+
+TEST(ValBitsSweep, Fig5AcrossSplitsWithFaults) {
+  fig5_counter_sweep<1>();
+  fig5_counter_sweep<16>();
+  fig5_counter_sweep<48>();
+  fig5_counter_sweep<56>();
+}
+
+// Boundary: a 1-bit value still supports the full LL/VL/SC protocol.
+TEST(ValBitsSweep, OneBitValueProtocol) {
+  using L = LlscFromCas<1>;
+  L::Var var(0);
+  L::Keep keep;
+  EXPECT_EQ(L::ll(var, keep), 0u);
+  EXPECT_TRUE(L::vl(var, keep));
+  EXPECT_TRUE(L::sc(var, keep, 1));
+  EXPECT_EQ(var.read(), 1u);
+  EXPECT_FALSE(L::sc(var, keep, 0)) << "keep is stale after a successful SC";
+}
+
+// Boundary: a 63-bit value leaves a 1-bit tag; alternating SCs must still
+// never lose an update under contention (full-word compare + 1-bit tag
+// distinguishes adjacent generations).
+TEST(ValBitsSweep, SixtyThreeBitValues) {
+  using L = LlscFromCas<63>;
+  L::Var var(0);
+  std::atomic<std::uint64_t> successes{0};
+  run_threads(4, [&](std::size_t) {
+    std::uint64_t local = 0;
+    for (int i = 0; i < 4000; ++i) {
+      L::Keep keep;
+      const std::uint64_t v = L::ll(var, keep);
+      local += L::sc(var, keep, (v + 0x100000001ull) & L::Word::kMaxValue);
+    }
+    successes.fetch_add(local);
+  });
+  EXPECT_EQ(var.read(),
+            (successes.load() * 0x100000001ull) & L::Word::kMaxValue);
+}
+
+}  // namespace
+}  // namespace moir

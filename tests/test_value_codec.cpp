@@ -1,0 +1,73 @@
+#include "core/value_codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace moir {
+namespace {
+
+TEST(ValueCodec, ChunksNeeded) {
+  EXPECT_EQ(chunks_needed(0, 32), 0u);
+  EXPECT_EQ(chunks_needed(4, 32), 1u);
+  EXPECT_EQ(chunks_needed(5, 32), 2u);
+  EXPECT_EQ(chunks_needed(8, 32), 2u);
+  EXPECT_EQ(chunks_needed(8, 16), 4u);
+  EXPECT_EQ(chunks_needed(3, 24), 1u);
+  EXPECT_EQ(chunks_needed(4, 24), 2u);
+  EXPECT_EQ(chunks_needed(1, 1), 8u);
+}
+
+TEST(ValueCodec, ByteRoundTripAcrossChunkWidths) {
+  Xoshiro256 rng(42);
+  for (unsigned chunk_bits : {1u, 7u, 8u, 16u, 24u, 32u, 48u, 63u, 64u}) {
+    for (std::size_t len : {std::size_t{1}, std::size_t{3}, std::size_t{16},
+                            std::size_t{33}}) {
+      std::vector<std::byte> in(len);
+      for (auto& b : in) b = static_cast<std::byte>(rng.next() & 0xff);
+      std::vector<std::uint64_t> chunks(chunks_needed(len, chunk_bits));
+      encode_bytes(in, chunks, chunk_bits);
+      for (const auto c : chunks) {
+        EXPECT_LE(c, low_mask(chunk_bits)) << "chunk overflows payload width";
+      }
+      std::vector<std::byte> out(len);
+      decode_bytes(chunks, out, chunk_bits);
+      EXPECT_EQ(in, out) << "chunk_bits=" << chunk_bits << " len=" << len;
+    }
+  }
+}
+
+struct Point {
+  double x, y, z;
+  std::uint32_t id;
+  friend bool operator==(const Point&, const Point&) = default;
+};
+
+TEST(ValueCodec, StructRoundTrip) {
+  const Point p{1.5, -2.25, 1e300, 0xdeadbeef};
+  std::vector<std::uint64_t> chunks(chunks_needed(sizeof(Point), 32));
+  encode_value(p, chunks, 32);
+  EXPECT_EQ(decode_value<Point>(chunks, 32), p);
+}
+
+TEST(ValueCodec, U64RoundTripNarrowChunks) {
+  const std::uint64_t v = 0x0123456789abcdefULL;
+  std::vector<std::uint64_t> chunks(chunks_needed(sizeof v, 24));
+  encode_value(v, chunks, 24);
+  EXPECT_EQ(decode_value<std::uint64_t>(chunks, 24), v);
+}
+
+TEST(ValueCodec, ZeroPaddingInLastChunk) {
+  // 1 byte into 64-bit chunks: the high 56 bits must be zero.
+  std::array<std::byte, 1> in{std::byte{0xff}};
+  std::vector<std::uint64_t> chunks(1);
+  encode_bytes(in, chunks, 64);
+  EXPECT_EQ(chunks[0], 0xffu);
+}
+
+}  // namespace
+}  // namespace moir

@@ -1,0 +1,138 @@
+// Wait-free universal construction tests.
+//
+// The sharpest linearizability probe for fetch-and-add-style objects is
+// RESULT UNIQUENESS: if increments return the pre-increment value, every
+// returned value must be distinct and the set must be exactly 0..total-1.
+// Lost updates, double applies, and stale results all break it.
+#include "nonblocking/wait_free_universal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <mutex>
+#include <numeric>
+#include <vector>
+
+#include "util/thread_utils.hpp"
+
+namespace moir {
+namespace {
+
+struct CounterState {
+  std::uint64_t value = 0;
+};
+
+enum : std::uint32_t { kIncr = 1, kAdd = 2, kReadOp = 3 };
+
+struct CounterApplier {
+  CounterState operator()(CounterState s, std::uint32_t opid,
+                          std::uint64_t arg, std::uint64_t* result) const {
+    switch (opid) {
+      case kIncr:
+        *result = s.value;
+        s.value += 1;
+        break;
+      case kAdd:
+        *result = s.value;
+        s.value += arg;
+        break;
+      case kReadOp:
+        *result = s.value;
+        break;
+      default:
+        ADD_FAILURE() << "unknown opid " << opid;
+    }
+    return s;
+  }
+};
+
+using Wfu = WaitFreeUniversal<CounterState, CounterApplier>;
+
+TEST(WaitFreeUniversal, SequentialSemantics) {
+  const unsigned n = 2;
+  WideLlsc<32> dom(n, Wfu::required_width(n));
+  Wfu obj(dom, n, CounterApplier{}, CounterState{100});
+  auto ctx = dom.make_ctx();
+  EXPECT_EQ(obj.apply(ctx, kIncr, 0), 100u);
+  EXPECT_EQ(obj.apply(ctx, kAdd, 10), 101u);
+  EXPECT_EQ(obj.apply(ctx, kReadOp, 0), 111u);
+  EXPECT_EQ(obj.read(ctx).value, 111u);
+}
+
+TEST(WaitFreeUniversal, RepeatedOpsBySameProcess) {
+  const unsigned n = 1;
+  WideLlsc<32> dom(n, Wfu::required_width(n));
+  Wfu obj(dom, n, CounterApplier{}, CounterState{0});
+  auto ctx = dom.make_ctx();
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(obj.apply(ctx, kIncr, 0), i);
+  }
+}
+
+class WfuStress : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(WfuStress, IncrementResultsAreExactlyUnique) {
+  const unsigned threads = GetParam();
+  WideLlsc<32> dom(threads + 1, Wfu::required_width(threads + 1));
+  Wfu obj(dom, threads + 1, CounterApplier{}, CounterState{0});
+
+  constexpr int kOpsEach = 2000;
+  std::mutex m;
+  std::vector<std::uint64_t> returned;
+  run_threads(threads, [&](std::size_t tid) {
+#ifdef MOIR_ENABLE_YIELD_POINTS
+    testing::set_yield_probability(0.02, 900 + tid);
+#endif
+    auto ctx = dom.make_ctx();
+    std::vector<std::uint64_t> mine;
+    mine.reserve(kOpsEach);
+    for (int i = 0; i < kOpsEach; ++i) {
+      mine.push_back(obj.apply(ctx, kIncr, 0));
+    }
+    // Per-process results must be strictly increasing (program order).
+    for (std::size_t i = 1; i < mine.size(); ++i) {
+      ASSERT_LT(mine[i - 1], mine[i]);
+    }
+    std::lock_guard<std::mutex> g(m);
+    returned.insert(returned.end(), mine.begin(), mine.end());
+#ifdef MOIR_ENABLE_YIELD_POINTS
+    testing::set_yield_probability(0.0, 0);
+#endif
+  });
+
+  // Exactly-once semantics: the multiset of returned pre-increment values
+  // is exactly {0, 1, ..., threads*kOpsEach-1}.
+  std::sort(returned.begin(), returned.end());
+  std::vector<std::uint64_t> expect(threads * kOpsEach);
+  std::iota(expect.begin(), expect.end(), 0);
+  EXPECT_EQ(returned, expect);
+
+  auto ctx = dom.make_ctx();
+  EXPECT_EQ(obj.read(ctx).value, threads * static_cast<std::uint64_t>(kOpsEach));
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, WfuStress, ::testing::Values(1u, 2u, 4u, 8u));
+
+TEST(WaitFreeUniversal, MixedOpsConserveSemantics) {
+  constexpr unsigned kThreads = 4;
+  WideLlsc<32> dom(kThreads + 1, Wfu::required_width(kThreads + 1));
+  Wfu obj(dom, kThreads + 1, CounterApplier{}, CounterState{0});
+
+  std::atomic<std::uint64_t> added{0};
+  run_threads(kThreads, [&](std::size_t tid) {
+    auto ctx = dom.make_ctx();
+    std::uint64_t local = 0;
+    for (int i = 0; i < 1500; ++i) {
+      const std::uint64_t amount = (tid + 1) * (i % 3 + 1);
+      obj.apply(ctx, kAdd, amount);
+      local += amount;
+    }
+    added.fetch_add(local);
+  });
+
+  auto ctx = dom.make_ctx();
+  EXPECT_EQ(obj.read(ctx).value, added.load());
+}
+
+}  // namespace
+}  // namespace moir

@@ -1,0 +1,205 @@
+// Deterministic test of Figure 6's helping protocol.
+//
+// The stress tests catch helping races statistically; this file stages the
+// critical schedule exactly, using a gating word provider that stalls a
+// chosen thread's CASes at a chosen point. The staged scenario is the one
+// the paper designs Copy for: "a process may fail or be delayed after
+// changing the header word for a variable and before writing all of the
+// segments" — readers must then finish the job themselves.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/wide_llsc.hpp"
+
+namespace moir {
+namespace {
+
+// Wraps native words; a thread whose Ctx carries a Gate blocks inside
+// cas() once fewer than `pass` CASes remain, until the gate is released.
+class GateProvider {
+ public:
+  struct Gate {
+    std::atomic<int> pass{0};      // CASes allowed before stalling
+    std::atomic<bool> open{true};  // false = stall
+    std::atomic<int> stalled{0};   // observers: how many threads stalled
+  };
+
+  explicit GateProvider(Gate* gate = nullptr) : gate_(gate) {}
+
+  struct Ctx {
+    Gate* gate = nullptr;
+  };
+
+  class Word {
+   public:
+    Word() = default;
+    Word(const Word&) = delete;
+    Word& operator=(const Word&) = delete;
+
+    std::uint64_t load() const { return w_.load(std::memory_order_seq_cst); }
+    void init(std::uint64_t v) { w_.store(v, std::memory_order_seq_cst); }
+
+    bool cas(Ctx& ctx, std::uint64_t& expected, std::uint64_t desired) {
+      if (ctx.gate != nullptr &&
+          ctx.gate->pass.fetch_sub(1, std::memory_order_seq_cst) <= 0) {
+        ctx.gate->stalled.fetch_add(1, std::memory_order_seq_cst);
+        while (!ctx.gate->open.load(std::memory_order_seq_cst)) {
+          std::this_thread::yield();
+        }
+        ctx.gate->stalled.fetch_sub(1, std::memory_order_seq_cst);
+      }
+      return w_.compare_exchange_strong(expected, desired,
+                                        std::memory_order_seq_cst);
+    }
+
+   private:
+    std::atomic<std::uint64_t> w_{0};
+  };
+
+  Ctx make_ctx() { return Ctx{gate_}; }
+  const char* name() const { return "gated-native-cas"; }
+
+ private:
+  Gate* gate_;
+};
+
+static_assert(WordProvider<GateProvider>);
+
+using Gated = WideLlsc<32, GateProvider>;
+
+// Writer stalls right after its header CAS (the first CAS of its SC),
+// before copying any segment. A concurrent reader must help: its WLL has
+// to return the writer's NEW value, fully assembled from the announcement
+// array, even though the writer has written no segment itself.
+TEST(WideHelping, ReaderCompletesStalledWritersStore) {
+  GateProvider::Gate gate;
+  Gated dom(2, 4, GateProvider(&gate));
+  Gated::Var var;
+  const std::vector<std::uint64_t> initial{1, 2, 3, 4};
+  dom.init_var(var, initial);
+
+  auto reader_ctx = dom.make_ctx();
+  // The reader must never stall: its ctx's gate budget is effectively
+  // infinite because reader helping CASes also draw from `gate.pass` —
+  // so instead run the writer in a thread and open the gate for everyone
+  // except during the staged window. Budget: header CAS passes (1), the
+  // first segment CAS stalls.
+  const std::vector<std::uint64_t> newval{10, 20, 30, 40};
+  std::atomic<bool> writer_done{false};
+
+  gate.pass.store(1);    // allow exactly the header CAS
+  gate.open.store(false);
+  std::thread writer([&] {
+    auto writer_ctx = dom.make_ctx();
+    Gated::Keep keep;
+    std::vector<std::uint64_t> buf(4);
+    ASSERT_TRUE(dom.wll(writer_ctx, var, keep, buf).success);
+    ASSERT_EQ(buf, initial);
+    ASSERT_TRUE(dom.sc(writer_ctx, var, keep, newval));  // stalls inside
+    writer_done.store(true);
+  });
+
+  while (gate.stalled.load() == 0) std::this_thread::yield();
+  ASSERT_FALSE(writer_done.load());
+
+  // Writer is frozen between header CAS and the first segment CAS. The
+  // reader's WLL must help and return the NEW value consistently.
+  // (The reader's own helping CASes must not stall: re-open the budget for
+  // it by raising pass very high — the stalled writer stays stalled
+  // because it is already inside its wait loop on `open`.)
+  gate.pass.store(1 << 20);
+  Gated::Keep rkeep;
+  std::vector<std::uint64_t> out(4);
+  const auto r = dom.wll(reader_ctx, var, rkeep, out);
+  ASSERT_TRUE(r.success)
+      << "nothing else is writing: WLL must complete via helping";
+  EXPECT_EQ(out, newval) << "helped read must assemble the writer's value";
+  EXPECT_TRUE(dom.vl(reader_ctx, var, rkeep));
+
+  // Release the stalled writer; its lagging segment CASes all fail
+  // harmlessly (the reader already installed regime-g values), and its SC
+  // still reports success (the header CAS won).
+  gate.open.store(true);
+  writer.join();
+  EXPECT_TRUE(writer_done.load());
+
+  std::vector<std::uint64_t> fin(4);
+  dom.read(reader_ctx, var, fin);
+  EXPECT_EQ(fin, newval);
+}
+
+// Same staging, but the reader then performs an SC of its own on top of
+// the helped read — proving a helped WLL yields a usable keep.
+TEST(WideHelping, ScAfterHelpedRead) {
+  GateProvider::Gate gate;
+  Gated dom(2, 2, GateProvider(&gate));
+  Gated::Var var;
+  dom.init_var(var, std::vector<std::uint64_t>{5, 6});
+
+  gate.pass.store(1);
+  gate.open.store(false);
+  std::thread writer([&] {
+    auto ctx = dom.make_ctx();
+    Gated::Keep keep;
+    std::vector<std::uint64_t> buf(2);
+    ASSERT_TRUE(dom.wll(ctx, var, keep, buf).success);
+    ASSERT_TRUE(dom.sc(ctx, var, keep, std::vector<std::uint64_t>{7, 8}));
+  });
+  while (gate.stalled.load() == 0) std::this_thread::yield();
+
+  gate.pass.store(1 << 20);
+  auto reader_ctx = dom.make_ctx();
+  Gated::Keep rkeep;
+  std::vector<std::uint64_t> out(2);
+  ASSERT_TRUE(dom.wll(reader_ctx, var, rkeep, out).success);
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{7, 8}));
+  // The reader's SC supersedes the (already linearized) stalled SC.
+  EXPECT_TRUE(dom.sc(reader_ctx, var, rkeep,
+                     std::vector<std::uint64_t>{9, 10}));
+
+  gate.open.store(true);
+  writer.join();
+
+  std::vector<std::uint64_t> fin(2);
+  dom.read(reader_ctx, var, fin);
+  EXPECT_EQ(fin, (std::vector<std::uint64_t>{9, 10}))
+      << "the stalled writer's lagging copies must not clobber newer data";
+}
+
+// A writer stalled BEFORE its header CAS has not linearized: readers must
+// keep returning the old value.
+TEST(WideHelping, StallBeforeHeaderCasIsInvisible) {
+  GateProvider::Gate gate;
+  Gated dom(2, 2, GateProvider(&gate));
+  Gated::Var var;
+  dom.init_var(var, std::vector<std::uint64_t>{1, 1});
+
+  gate.pass.store(0);  // stall at the very first CAS (the header CAS)
+  gate.open.store(false);
+  std::thread writer([&] {
+    auto ctx = dom.make_ctx();
+    Gated::Keep keep;
+    std::vector<std::uint64_t> buf(2);
+    ASSERT_TRUE(dom.wll(ctx, var, keep, buf).success);
+    ASSERT_TRUE(dom.sc(ctx, var, keep, std::vector<std::uint64_t>{2, 2}));
+  });
+  while (gate.stalled.load() == 0) std::this_thread::yield();
+
+  gate.pass.store(1 << 20);
+  auto reader_ctx = dom.make_ctx();
+  std::vector<std::uint64_t> out(2);
+  dom.read(reader_ctx, var, out);
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{1, 1}))
+      << "un-linearized SC must be invisible";
+
+  gate.open.store(true);
+  writer.join();
+  dom.read(reader_ctx, var, out);
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{2, 2}));
+}
+
+}  // namespace
+}  // namespace moir

@@ -1,0 +1,292 @@
+// Tests for Figure 6 (W-word WLL/VL/SC, Theorem 4).
+//
+// The decisive invariant for a multi-word register is atomicity of the full
+// value: WLL must never return a "torn" mix of two SCs' values. The stress
+// tests write self-describing values (every chunk derived from one seed) so
+// tearing is detectable in O(W).
+#include "core/wide_llsc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/value_codec.hpp"
+#include "util/rng.hpp"
+#include "util/thread_utils.hpp"
+
+namespace moir {
+namespace {
+
+using Wide = WideLlsc<32>;
+
+std::vector<std::uint64_t> chunks(std::initializer_list<std::uint64_t> v) {
+  return std::vector<std::uint64_t>(v);
+}
+
+TEST(WideLlsc, InitAndRead) {
+  Wide dom(2, 3);
+  Wide::Var var;
+  dom.init_var(var, chunks({1, 2, 3}));
+  auto ctx = dom.make_ctx();
+  std::vector<std::uint64_t> out(3);
+  dom.read(ctx, var, out);
+  EXPECT_EQ(out, chunks({1, 2, 3}));
+}
+
+TEST(WideLlsc, WllSucceedsWhenQuiescent) {
+  Wide dom(2, 2);
+  Wide::Var var;
+  dom.init_var(var, chunks({7, 8}));
+  auto ctx = dom.make_ctx();
+  Wide::Keep keep;
+  std::vector<std::uint64_t> out(2);
+  const auto r = dom.wll(ctx, var, keep, out);
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(out, chunks({7, 8}));
+}
+
+TEST(WideLlsc, ScReplacesWholeValue) {
+  Wide dom(2, 4);
+  Wide::Var var;
+  dom.init_var(var, chunks({0, 0, 0, 0}));
+  auto ctx = dom.make_ctx();
+  Wide::Keep keep;
+  std::vector<std::uint64_t> out(4);
+  ASSERT_TRUE(dom.wll(ctx, var, keep, out).success);
+  const auto newval = chunks({10, 20, 30, 40});
+  EXPECT_TRUE(dom.sc(ctx, var, keep, newval));
+  dom.read(ctx, var, out);
+  EXPECT_EQ(out, newval);
+}
+
+TEST(WideLlsc, ScFailsAfterInterveningSc) {
+  Wide dom(2, 2);
+  Wide::Var var;
+  dom.init_var(var, chunks({1, 1}));
+  auto p = dom.make_ctx();
+  auto q = dom.make_ctx();
+  Wide::Keep kp, kq;
+  std::vector<std::uint64_t> out(2);
+  ASSERT_TRUE(dom.wll(p, var, kp, out).success);
+  ASSERT_TRUE(dom.wll(q, var, kq, out).success);
+  EXPECT_TRUE(dom.sc(q, var, kq, chunks({2, 2})));
+  EXPECT_FALSE(dom.sc(p, var, kp, chunks({3, 3})));
+  dom.read(p, var, out);
+  EXPECT_EQ(out, chunks({2, 2}));
+}
+
+TEST(WideLlsc, VlSemantics) {
+  Wide dom(2, 2);
+  Wide::Var var;
+  dom.init_var(var, chunks({1, 1}));
+  auto p = dom.make_ctx();
+  auto q = dom.make_ctx();
+  Wide::Keep kp, kq;
+  std::vector<std::uint64_t> out(2);
+  ASSERT_TRUE(dom.wll(p, var, kp, out).success);
+  EXPECT_TRUE(dom.vl(p, var, kp));
+  ASSERT_TRUE(dom.wll(q, var, kq, out).success);
+  ASSERT_TRUE(dom.sc(q, var, kq, chunks({5, 5})));
+  EXPECT_FALSE(dom.vl(p, var, kp));
+}
+
+// The WLL weakening: when a SC lands mid-read, WLL may return the winner's
+// pid instead of a value. Simulate a stalled helper by driving Copy from a
+// second context between header read and completion — here we simply check
+// that a failed WLL reports a pid that actually performed a SC.
+TEST(WideLlsc, FailedWllReportsWinnerPid) {
+  Wide dom(2, 2);
+  Wide::Var var;
+  dom.init_var(var, chunks({1, 1}));
+  auto p = dom.make_ctx();
+  auto q = dom.make_ctx();
+  // q performs a successful SC...
+  Wide::Keep kq;
+  std::vector<std::uint64_t> out(2);
+  ASSERT_TRUE(dom.wll(q, var, kq, out).success);
+  ASSERT_TRUE(dom.sc(q, var, kq, chunks({2, 2})));
+  // ...then p's stale-keep SC must fail.
+  Wide::Keep kp;
+  ASSERT_TRUE(dom.wll(p, var, kp, out).success);
+  ASSERT_TRUE(dom.wll(q, var, kq, out).success);
+  ASSERT_TRUE(dom.sc(q, var, kq, chunks({3, 3})));
+  EXPECT_FALSE(dom.sc(p, var, kp, chunks({4, 4})));
+}
+
+TEST(WideLlsc, ManySequentialScsCycleTags) {
+  Wide dom(1, 2);
+  Wide::Var var;
+  dom.init_var(var, chunks({0, 0}));
+  auto ctx = dom.make_ctx();
+  std::vector<std::uint64_t> out(2);
+  for (std::uint64_t i = 1; i <= 2000; ++i) {
+    Wide::Keep keep;
+    ASSERT_TRUE(dom.wll(ctx, var, keep, out).success);
+    ASSERT_TRUE(dom.sc(ctx, var, keep, chunks({i, i * 2 + 1})));
+  }
+  dom.read(ctx, var, out);
+  EXPECT_EQ(out, chunks({2000, 4001}));
+}
+
+TEST(WideLlsc, SpaceOverheadIsNW) {
+  Wide dom(8, 16);
+  EXPECT_EQ(dom.shared_overhead_words(), 8u * 16u);
+  EXPECT_EQ(dom.per_variable_overhead_words(), 1u);
+}
+
+struct Pair {
+  std::uint64_t a, b;
+  friend bool operator==(const Pair&, const Pair&) = default;
+};
+
+TEST(WideLlsc, StoringStructsViaCodec) {
+  const unsigned w =
+      static_cast<unsigned>(chunks_needed(sizeof(Pair), Wide::kChunkBits));
+  Wide dom(1, w);
+  Wide::Var var;
+  std::vector<std::uint64_t> buf(w);
+  encode_value(Pair{111, 222}, buf, Wide::kChunkBits);
+  dom.init_var(var, buf);
+  auto ctx = dom.make_ctx();
+  Wide::Keep keep;
+  ASSERT_TRUE(dom.wll(ctx, var, keep, buf).success);
+  EXPECT_EQ((decode_value<Pair>(buf, Wide::kChunkBits)), (Pair{111, 222}));
+  encode_value(Pair{333, 444}, buf, Wide::kChunkBits);
+  ASSERT_TRUE(dom.sc(ctx, var, keep, buf));
+  dom.read(ctx, var, buf);
+  EXPECT_EQ((decode_value<Pair>(buf, Wide::kChunkBits)), (Pair{333, 444}));
+}
+
+// ---------------------------------------------------------------------------
+// Tearing stress: every stored value is (seed, f(seed), f(f(seed)), ...);
+// any mix of two SCs' chunks breaks the chain. Sweeps W and thread count.
+// ---------------------------------------------------------------------------
+struct WideStressParam {
+  unsigned threads;
+  unsigned width;
+};
+
+class WideLlscStress : public ::testing::TestWithParam<WideStressParam> {};
+
+std::uint64_t chain_next(std::uint64_t x) {
+  SplitMix64 sm(x);
+  return sm.next() & Wide::kMaxChunk;
+}
+
+void fill_chain(std::uint64_t seed, std::vector<std::uint64_t>& out) {
+  std::uint64_t x = seed & Wide::kMaxChunk;
+  for (auto& c : out) {
+    c = x;
+    x = chain_next(x);
+  }
+}
+
+bool is_chain(const std::vector<std::uint64_t>& v) {
+  std::uint64_t x = v[0];
+  for (const auto c : v) {
+    if (c != x) return false;
+    x = chain_next(x);
+  }
+  return true;
+}
+
+TEST_P(WideLlscStress, NoTornReadsAndNoLostUpdates) {
+  const auto param = GetParam();
+  // +1 process slot for the final verification context.
+  Wide dom(param.threads + 1, param.width);
+  Wide::Var var;
+  std::vector<std::uint64_t> init(param.width);
+  fill_chain(1, init);
+  dom.init_var(var, init);
+
+  std::atomic<std::uint64_t> successes{0};
+  run_threads(param.threads, [&](std::size_t tid) {
+#ifdef MOIR_ENABLE_YIELD_POINTS
+    testing::set_yield_probability(0.05, 1000 + tid);
+#endif
+    auto ctx = dom.make_ctx();
+    Xoshiro256 rng(tid * 7919 + 13);
+    std::vector<std::uint64_t> buf(param.width);
+    std::vector<std::uint64_t> next(param.width);
+    std::uint64_t local = 0;
+    for (int i = 0; i < 2000; ++i) {
+      Wide::Keep keep;
+      const auto r = dom.wll(ctx, var, keep, buf);
+      if (!r.success) {
+        ASSERT_LT(r.winner_pid, param.threads);
+        continue;
+      }
+      ASSERT_TRUE(is_chain(buf)) << "torn WLL read";
+      fill_chain(rng.next(), next);
+      local += dom.sc(ctx, var, keep, next);
+    }
+    successes.fetch_add(local);
+#ifdef MOIR_ENABLE_YIELD_POINTS
+    testing::set_yield_probability(0.0, 0);
+#endif
+  });
+
+  EXPECT_GT(successes.load(), 0u);
+  auto ctx = dom.make_ctx();
+  std::vector<std::uint64_t> fin(param.width);
+  dom.read(ctx, var, fin);
+  EXPECT_TRUE(is_chain(fin));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, WideLlscStress,
+    ::testing::Values(WideStressParam{1, 1}, WideStressParam{2, 2},
+                      WideStressParam{4, 4}, WideStressParam{4, 16},
+                      WideStressParam{8, 8}, WideStressParam{3, 64}));
+
+// read() must be linearizable too: concurrent readers while one writer
+// advances a chained value must always observe a coherent chain.
+TEST(WideLlscStress, ReadersNeverSeeTornValues) {
+  constexpr unsigned kWidth = 8;
+  Wide dom(4, kWidth);
+  Wide::Var var;
+  std::vector<std::uint64_t> init(kWidth);
+  fill_chain(5, init);
+  dom.init_var(var, init);
+  std::atomic<bool> stop{false};
+
+  run_threads(4, [&](std::size_t tid) {
+    auto ctx = dom.make_ctx();
+    if (tid == 0) {
+      std::vector<std::uint64_t> buf(kWidth), next(kWidth);
+      Xoshiro256 rng(99);
+      for (int i = 0; i < 3000; ++i) {
+        Wide::Keep keep;
+        if (dom.wll(ctx, var, keep, buf).success) {
+          fill_chain(rng.next(), next);
+          dom.sc(ctx, var, keep, next);
+        }
+      }
+      stop.store(true);
+    } else {
+      std::vector<std::uint64_t> buf(kWidth);
+      while (!stop.load()) {
+        dom.read(ctx, var, buf);
+        ASSERT_TRUE(is_chain(buf)) << "torn read";
+      }
+    }
+  });
+}
+
+// Registering more contexts than N must abort (shared arrays sized N) —
+// checked via the registry's own unit tests; here we check the happy path
+// boundary: exactly N contexts work.
+TEST(WideLlsc, ExactlyNContexts) {
+  Wide dom(3, 1);
+  auto a = dom.make_ctx();
+  auto b = dom.make_ctx();
+  auto c = dom.make_ctx();
+  EXPECT_EQ(a.pid, 0u);
+  EXPECT_EQ(b.pid, 1u);
+  EXPECT_EQ(c.pid, 2u);
+}
+
+}  // namespace
+}  // namespace moir
