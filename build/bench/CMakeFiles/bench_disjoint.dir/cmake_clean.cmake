@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_disjoint.dir/bench_disjoint.cpp.o"
+  "CMakeFiles/bench_disjoint.dir/bench_disjoint.cpp.o.d"
+  "bench_disjoint"
+  "bench_disjoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_disjoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

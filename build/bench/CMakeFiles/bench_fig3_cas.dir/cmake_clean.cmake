@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_cas.dir/bench_fig3_cas.cpp.o"
+  "CMakeFiles/bench_fig3_cas.dir/bench_fig3_cas.cpp.o.d"
+  "bench_fig3_cas"
+  "bench_fig3_cas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_cas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_llsc.dir/bench_fig4_llsc.cpp.o"
+  "CMakeFiles/bench_fig4_llsc.dir/bench_fig4_llsc.cpp.o.d"
+  "bench_fig4_llsc"
+  "bench_fig4_llsc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_llsc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_llsc.dir/bench_fig5_llsc.cpp.o"
+  "CMakeFiles/bench_fig5_llsc.dir/bench_fig5_llsc.cpp.o.d"
+  "bench_fig5_llsc"
+  "bench_fig5_llsc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_llsc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

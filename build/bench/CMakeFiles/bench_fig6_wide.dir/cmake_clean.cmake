@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_wide.dir/bench_fig6_wide.cpp.o"
+  "CMakeFiles/bench_fig6_wide.dir/bench_fig6_wide.cpp.o.d"
+  "bench_fig6_wide"
+  "bench_fig6_wide.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_wide.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

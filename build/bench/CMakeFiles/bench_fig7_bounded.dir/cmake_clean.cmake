@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_bounded.dir/bench_fig7_bounded.cpp.o"
+  "CMakeFiles/bench_fig7_bounded.dir/bench_fig7_bounded.cpp.o.d"
+  "bench_fig7_bounded"
+  "bench_fig7_bounded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_bounded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spurious.dir/bench_spurious.cpp.o"
+  "CMakeFiles/bench_spurious.dir/bench_spurious.cpp.o.d"
+  "bench_spurious"
+  "bench_spurious.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spurious.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

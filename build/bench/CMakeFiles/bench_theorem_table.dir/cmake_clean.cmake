@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_theorem_table.dir/bench_theorem_table.cpp.o"
+  "CMakeFiles/bench_theorem_table.dir/bench_theorem_table.cpp.o.d"
+  "bench_theorem_table"
+  "bench_theorem_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theorem_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wraparound.dir/bench_wraparound.cpp.o"
+  "CMakeFiles/bench_wraparound.dir/bench_wraparound.cpp.o.d"
+  "bench_wraparound"
+  "bench_wraparound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wraparound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lockfree_stack.dir/lockfree_stack.cpp.o"
+  "CMakeFiles/lockfree_stack.dir/lockfree_stack.cpp.o.d"
+  "lockfree_stack"
+  "lockfree_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lockfree_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wide_register.dir/wide_register.cpp.o"
+  "CMakeFiles/wide_register.dir/wide_register.cpp.o.d"
+  "wide_register"
+  "wide_register.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wide_register.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

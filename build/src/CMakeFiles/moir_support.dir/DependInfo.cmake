@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/process_registry.cpp" "src/CMakeFiles/moir_support.dir/core/process_registry.cpp.o" "gcc" "src/CMakeFiles/moir_support.dir/core/process_registry.cpp.o.d"
+  "/root/repo/src/platform/features.cpp" "src/CMakeFiles/moir_support.dir/platform/features.cpp.o" "gcc" "src/CMakeFiles/moir_support.dir/platform/features.cpp.o.d"
+  "/root/repo/src/util/histogram.cpp" "src/CMakeFiles/moir_support.dir/util/histogram.cpp.o" "gcc" "src/CMakeFiles/moir_support.dir/util/histogram.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/moir_support.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/moir_support.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moir_support.dir/core/process_registry.cpp.o"
+  "CMakeFiles/moir_support.dir/core/process_registry.cpp.o.d"
+  "CMakeFiles/moir_support.dir/platform/features.cpp.o"
+  "CMakeFiles/moir_support.dir/platform/features.cpp.o.d"
+  "CMakeFiles/moir_support.dir/util/histogram.cpp.o"
+  "CMakeFiles/moir_support.dir/util/histogram.cpp.o.d"
+  "CMakeFiles/moir_support.dir/util/table.cpp.o"
+  "CMakeFiles/moir_support.dir/util/table.cpp.o.d"
+  "libmoir_support.a"
+  "libmoir_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moir_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

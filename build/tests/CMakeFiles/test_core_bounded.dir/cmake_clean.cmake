@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_bounded.dir/test_bounded_llsc.cpp.o"
+  "CMakeFiles/test_core_bounded.dir/test_bounded_llsc.cpp.o.d"
+  "CMakeFiles/test_core_bounded.dir/test_slot_stack.cpp.o"
+  "CMakeFiles/test_core_bounded.dir/test_slot_stack.cpp.o.d"
+  "CMakeFiles/test_core_bounded.dir/test_tag_queue.cpp.o"
+  "CMakeFiles/test_core_bounded.dir/test_tag_queue.cpp.o.d"
+  "test_core_bounded"
+  "test_core_bounded.pdb"
+  "test_core_bounded[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_bounded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_cas_from_rllrsc.cpp" "tests/CMakeFiles/test_core_small.dir/test_cas_from_rllrsc.cpp.o" "gcc" "tests/CMakeFiles/test_core_small.dir/test_cas_from_rllrsc.cpp.o.d"
+  "/root/repo/tests/test_llsc_from_cas.cpp" "tests/CMakeFiles/test_core_small.dir/test_llsc_from_cas.cpp.o" "gcc" "tests/CMakeFiles/test_core_small.dir/test_llsc_from_cas.cpp.o.d"
+  "/root/repo/tests/test_llsc_from_rllrsc.cpp" "tests/CMakeFiles/test_core_small.dir/test_llsc_from_rllrsc.cpp.o" "gcc" "tests/CMakeFiles/test_core_small.dir/test_llsc_from_rllrsc.cpp.o.d"
+  "/root/repo/tests/test_process_registry.cpp" "tests/CMakeFiles/test_core_small.dir/test_process_registry.cpp.o" "gcc" "tests/CMakeFiles/test_core_small.dir/test_process_registry.cpp.o.d"
+  "/root/repo/tests/test_substrates.cpp" "tests/CMakeFiles/test_core_small.dir/test_substrates.cpp.o" "gcc" "tests/CMakeFiles/test_core_small.dir/test_substrates.cpp.o.d"
+  "/root/repo/tests/test_tagged_word.cpp" "tests/CMakeFiles/test_core_small.dir/test_tagged_word.cpp.o" "gcc" "tests/CMakeFiles/test_core_small.dir/test_tagged_word.cpp.o.d"
+  "/root/repo/tests/test_valbits_sweep.cpp" "tests/CMakeFiles/test_core_small.dir/test_valbits_sweep.cpp.o" "gcc" "tests/CMakeFiles/test_core_small.dir/test_valbits_sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/moir_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_small.dir/test_cas_from_rllrsc.cpp.o"
+  "CMakeFiles/test_core_small.dir/test_cas_from_rllrsc.cpp.o.d"
+  "CMakeFiles/test_core_small.dir/test_llsc_from_cas.cpp.o"
+  "CMakeFiles/test_core_small.dir/test_llsc_from_cas.cpp.o.d"
+  "CMakeFiles/test_core_small.dir/test_llsc_from_rllrsc.cpp.o"
+  "CMakeFiles/test_core_small.dir/test_llsc_from_rllrsc.cpp.o.d"
+  "CMakeFiles/test_core_small.dir/test_process_registry.cpp.o"
+  "CMakeFiles/test_core_small.dir/test_process_registry.cpp.o.d"
+  "CMakeFiles/test_core_small.dir/test_substrates.cpp.o"
+  "CMakeFiles/test_core_small.dir/test_substrates.cpp.o.d"
+  "CMakeFiles/test_core_small.dir/test_tagged_word.cpp.o"
+  "CMakeFiles/test_core_small.dir/test_tagged_word.cpp.o.d"
+  "CMakeFiles/test_core_small.dir/test_valbits_sweep.cpp.o"
+  "CMakeFiles/test_core_small.dir/test_valbits_sweep.cpp.o.d"
+  "test_core_small"
+  "test_core_small.pdb"
+  "test_core_small[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_small.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_wide.dir/test_value_codec.cpp.o"
+  "CMakeFiles/test_core_wide.dir/test_value_codec.cpp.o.d"
+  "CMakeFiles/test_core_wide.dir/test_wide_llsc.cpp.o"
+  "CMakeFiles/test_core_wide.dir/test_wide_llsc.cpp.o.d"
+  "test_core_wide"
+  "test_core_wide.pdb"
+  "test_core_wide[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_wide.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exploration.dir/test_exploration.cpp.o"
+  "CMakeFiles/test_exploration.dir/test_exploration.cpp.o.d"
+  "test_exploration"
+  "test_exploration.pdb"
+  "test_exploration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_aba_structures.cpp" "tests/CMakeFiles/test_nonblocking.dir/test_aba_structures.cpp.o" "gcc" "tests/CMakeFiles/test_nonblocking.dir/test_aba_structures.cpp.o.d"
+  "/root/repo/tests/test_counter.cpp" "tests/CMakeFiles/test_nonblocking.dir/test_counter.cpp.o" "gcc" "tests/CMakeFiles/test_nonblocking.dir/test_counter.cpp.o.d"
+  "/root/repo/tests/test_ms_queue.cpp" "tests/CMakeFiles/test_nonblocking.dir/test_ms_queue.cpp.o" "gcc" "tests/CMakeFiles/test_nonblocking.dir/test_ms_queue.cpp.o.d"
+  "/root/repo/tests/test_treiber_stack.cpp" "tests/CMakeFiles/test_nonblocking.dir/test_treiber_stack.cpp.o" "gcc" "tests/CMakeFiles/test_nonblocking.dir/test_treiber_stack.cpp.o.d"
+  "/root/repo/tests/test_universal.cpp" "tests/CMakeFiles/test_nonblocking.dir/test_universal.cpp.o" "gcc" "tests/CMakeFiles/test_nonblocking.dir/test_universal.cpp.o.d"
+  "/root/repo/tests/test_wait_free_universal.cpp" "tests/CMakeFiles/test_nonblocking.dir/test_wait_free_universal.cpp.o" "gcc" "tests/CMakeFiles/test_nonblocking.dir/test_wait_free_universal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/moir_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nonblocking.dir/test_aba_structures.cpp.o"
+  "CMakeFiles/test_nonblocking.dir/test_aba_structures.cpp.o.d"
+  "CMakeFiles/test_nonblocking.dir/test_counter.cpp.o"
+  "CMakeFiles/test_nonblocking.dir/test_counter.cpp.o.d"
+  "CMakeFiles/test_nonblocking.dir/test_ms_queue.cpp.o"
+  "CMakeFiles/test_nonblocking.dir/test_ms_queue.cpp.o.d"
+  "CMakeFiles/test_nonblocking.dir/test_treiber_stack.cpp.o"
+  "CMakeFiles/test_nonblocking.dir/test_treiber_stack.cpp.o.d"
+  "CMakeFiles/test_nonblocking.dir/test_universal.cpp.o"
+  "CMakeFiles/test_nonblocking.dir/test_universal.cpp.o.d"
+  "CMakeFiles/test_nonblocking.dir/test_wait_free_universal.cpp.o"
+  "CMakeFiles/test_nonblocking.dir/test_wait_free_universal.cpp.o.d"
+  "test_nonblocking"
+  "test_nonblocking.pdb"
+  "test_nonblocking[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nonblocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

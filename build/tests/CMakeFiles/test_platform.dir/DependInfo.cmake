@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_dwcas.cpp" "tests/CMakeFiles/test_platform.dir/test_dwcas.cpp.o" "gcc" "tests/CMakeFiles/test_platform.dir/test_dwcas.cpp.o.d"
+  "/root/repo/tests/test_fault.cpp" "tests/CMakeFiles/test_platform.dir/test_fault.cpp.o" "gcc" "tests/CMakeFiles/test_platform.dir/test_fault.cpp.o.d"
+  "/root/repo/tests/test_rll_rsc.cpp" "tests/CMakeFiles/test_platform.dir/test_rll_rsc.cpp.o" "gcc" "tests/CMakeFiles/test_platform.dir/test_rll_rsc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/moir_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

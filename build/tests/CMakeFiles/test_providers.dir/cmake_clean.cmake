@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_providers.dir/test_rll_backed_wide_bounded.cpp.o"
+  "CMakeFiles/test_providers.dir/test_rll_backed_wide_bounded.cpp.o.d"
+  "CMakeFiles/test_providers.dir/test_wide_helping.cpp.o"
+  "CMakeFiles/test_providers.dir/test_wide_helping.cpp.o.d"
+  "test_providers"
+  "test_providers.pdb"
+  "test_providers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_providers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

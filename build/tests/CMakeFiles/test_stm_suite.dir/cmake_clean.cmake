@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stm_suite.dir/test_mcas.cpp.o"
+  "CMakeFiles/test_stm_suite.dir/test_mcas.cpp.o.d"
+  "CMakeFiles/test_stm_suite.dir/test_stm.cpp.o"
+  "CMakeFiles/test_stm_suite.dir/test_stm.cpp.o.d"
+  "test_stm_suite"
+  "test_stm_suite.pdb"
+  "test_stm_suite[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stm_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_platform[1]_include.cmake")
+include("/root/repo/build/tests/test_core_small[1]_include.cmake")
+include("/root/repo/build/tests/test_core_bounded[1]_include.cmake")
+include("/root/repo/build/tests/test_core_wide[1]_include.cmake")
+include("/root/repo/build/tests/test_nonblocking[1]_include.cmake")
+include("/root/repo/build/tests/test_stm_suite[1]_include.cmake")
+include("/root/repo/build/tests/test_verify[1]_include.cmake")
+include("/root/repo/build/tests/test_providers[1]_include.cmake")
+include("/root/repo/build/tests/test_guardrails[1]_include.cmake")
+include("/root/repo/build/tests/test_exploration[1]_include.cmake")
+include("/root/repo/build/tests/test_torture[1]_include.cmake")
