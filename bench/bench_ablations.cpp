@@ -153,7 +153,7 @@ void substrate_tax_table() {
                                                                 init_ctx);
     const double secs = moir::bench::timed_threads(4, [&](std::size_t tid) {
       auto ctx = s.make_ctx();
-      moir::Xoshiro256 rng(tid + 1);
+      moir::Xoshiro256 rng(moir::bench::thread_seed(tid));
       for (std::uint64_t i = 0; i < kOps; ++i) {
         if (rng.chance(1, 2)) {
           st.push(ctx, i & 0xfff);

@@ -44,7 +44,7 @@ double stack_mops(S& s, std::uint64_t ops_each) {
   moir::TreiberStack<S> st(s, 512, init_ctx);
   const double secs = moir::bench::timed_threads(kThreads, [&](std::size_t tid) {
     auto ctx = s.make_ctx();
-    moir::Xoshiro256 rng(tid + 1);
+    moir::Xoshiro256 rng(moir::bench::thread_seed(tid));
     for (std::uint64_t i = 0; i < ops_each; ++i) {
       if (rng.chance(1, 2)) {
         st.push(ctx, i & 0xfff);
@@ -62,7 +62,7 @@ double queue_mops(S& s, std::uint64_t ops_each) {
   moir::MsQueue<S> q(s, 512, init_ctx);
   const double secs = moir::bench::timed_threads(kThreads, [&](std::size_t tid) {
     auto ctx = s.make_ctx();
-    moir::Xoshiro256 rng(tid + 1);
+    moir::Xoshiro256 rng(moir::bench::thread_seed(tid));
     for (std::uint64_t i = 0; i < ops_each; ++i) {
       if (rng.chance(1, 2)) {
         q.enqueue(ctx, i & 0xfff);
@@ -80,7 +80,7 @@ double dcas_mops(std::uint64_t ops_each) {
   for (std::size_t i = 0; i < 16; ++i) m.set_initial(i, 0);
   const double secs = moir::bench::timed_threads(kThreads, [&](std::size_t tid) {
     auto ctx = m.make_ctx();
-    moir::Xoshiro256 rng(tid + 5);
+    moir::Xoshiro256 rng(moir::bench::thread_seed(tid + 4));
     for (std::uint64_t i = 0; i < ops_each; ++i) {
       std::uint32_t x = static_cast<std::uint32_t>(rng.next_below(16));
       std::uint32_t y = static_cast<std::uint32_t>(rng.next_below(16));
@@ -103,7 +103,7 @@ double stm_mtps(std::uint64_t ops_each) {
   for (std::size_t a = 0; a < 32; ++a) stm.set_initial(a, 1000);
   const double secs = moir::bench::timed_threads(kThreads, [&](std::size_t tid) {
     auto ctx = stm.make_ctx();
-    moir::Xoshiro256 rng(tid * 3 + 1);
+    moir::Xoshiro256 rng(moir::bench::thread_seed(tid + 8));
     for (std::uint64_t i = 0; i < ops_each; ++i) {
       std::uint32_t a = static_cast<std::uint32_t>(rng.next_below(32));
       std::uint32_t b = static_cast<std::uint32_t>(rng.next_below(32));

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "platform/features.hpp"
+#include "util/env.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
 #include "util/thread_utils.hpp"
@@ -76,6 +77,13 @@ inline double mops(double secs, std::uint64_t ops) {
 // MOIR_BENCH_QUICK=1 divides op counts by 10.
 inline std::uint64_t scaled(std::uint64_t ops) {
   return std::getenv("MOIR_BENCH_QUICK") != nullptr ? ops / 10 : ops;
+}
+
+// Per-thread RNG seed derived from the shared MOIR_SEED base (util/env.hpp),
+// so bench runs are reproducible and CI can sweep seeds without recompiling.
+// The odd multiplier keeps thread streams decorrelated.
+inline std::uint64_t thread_seed(std::uint64_t thread_index) {
+  return base_seed() ^ (0x9e3779b97f4a7c15ULL * (thread_index + 1));
 }
 
 }  // namespace moir::bench

@@ -164,18 +164,25 @@ class BoundedLlsc {
     for (auto& c : var.last_) c.store(0, std::memory_order_relaxed);
   }
 
+  // Yield points precede the accesses they announce; the exploration
+  // identities are the variable's word and the individual announcement
+  // cells. The per-process counters last_[pid] are owner-only (no other
+  // process touches them) and therefore omitted from the footprints.
   value_type ll(ThreadCtx& ctx, const Var& var, Keep& keep) {
     keep.slot = ctx.stack_.pop();                                   // line 1
+    MOIR_YIELD_READ(&var.word_);
     const std::uint64_t old = var.word_.load();                     // line 2
-    MOIR_YIELD_POINT();
+    MOIR_YIELD_WRITE(&announce(ctx.pid_, keep.slot));
     announce(ctx.pid_, keep.slot)
         .store(old, std::memory_order_seq_cst);                     // line 3
-    MOIR_YIELD_POINT();
+    MOIR_YIELD_READ(&var.word_);
     keep.fail = var.word_.load() != old;                            // line 4
     return Packed{old}.val();                                       // line 5
   }
 
   bool vl(ThreadCtx& ctx, const Var& var, const Keep& keep) {
+    MOIR_YIELD_STEP(::moir::testing::StepInfo::read(&var.word_)
+                        .also_read(&announce(ctx.pid_, keep.slot)));
     return !keep.fail &&                                            // line 6
            var.word_.load() == announce(ctx.pid_, keep.slot)
                                    .load(std::memory_order_seq_cst);
@@ -192,6 +199,7 @@ class BoundedLlsc {
     if (keep.fail) return false;                                    // line 9
 
     // line 10: read one announcement; retire its tag to the queue back.
+    MOIR_YIELD_READ(&announce(ctx.j_ / k_, ctx.j_ % k_));
     const std::uint64_t announced =
         announce(ctx.j_ / k_, ctx.j_ % k_).load(std::memory_order_seq_cst);
     ctx.queue_.move_to_back(
@@ -204,7 +212,9 @@ class BoundedLlsc {
         var.last_[ctx.pid_].load(std::memory_order_relaxed), 1, nk_));
     var.last_[ctx.pid_].store(cnt, std::memory_order_relaxed);
 
-    MOIR_YIELD_POINT();
+    MOIR_YIELD_STEP(::moir::testing::StepInfo::read(
+                        &announce(ctx.pid_, keep.slot))
+                        .also_update(&var.word_));
     // line 15: CAS from the announced old word to the freshly-tagged new.
     std::uint64_t expected =
         announce(ctx.pid_, keep.slot).load(std::memory_order_seq_cst);

@@ -45,18 +45,22 @@ class CasFromRllRsc {
   // line numbers in comments refer to the paper.
   static bool cas(Processor& proc, Var& var, value_type old_value,
                   value_type new_value) {
+    MOIR_YIELD_READ(&var.word_);
     const Word oldword = Word::from_raw(var.word_.read());       // line 1
     if (oldword.value() != old_value) return false;              // line 2
     if (old_value == new_value) return true;                     // line 3
     const Word newword = oldword.successor(new_value);           // line 4
     for (;;) {
-      MOIR_YIELD_POINT();
+      // rll/rsc announce their own accesses; no extra yield point needed.
       if (proc.rll(var.word_) != oldword.raw()) return false;    // line 5
       if (proc.rsc(var.word_, newword.raw())) return true;       // line 6
     }
   }
 
-  static value_type read(const Var& var) { return var.read(); }
+  static value_type read(const Var& var) {
+    MOIR_YIELD_READ(&var.word_);
+    return var.read();
+  }
 };
 
 }  // namespace moir

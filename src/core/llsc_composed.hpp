@@ -45,9 +45,9 @@ class LlscComposed {
   using Var = typename Inner::Var;
 
   // LL: read the inner word's value field = [outer tag | value].
+  // Inner::read announces its own access; no extra yield point needed.
   static value_type ll(const Var& var, Keep& keep) {
     keep.packed = Inner::read(var);
-    MOIR_YIELD_POINT();
     return keep.packed & kMaxValue;
   }
 
@@ -62,7 +62,6 @@ class LlscComposed {
     const std::uint64_t next =
         (add_mod_pow2(outer_tag, 1, OuterTagBits) << ValBits) |
         (newval & kMaxValue);
-    MOIR_YIELD_POINT();
     return Inner::cas(proc, var, keep.packed, next);
   }
 

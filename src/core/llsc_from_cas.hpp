@@ -46,20 +46,23 @@ class LlscFromCas {
   };
 
   // LL(addr, keep): *keep := *addr; return keep->val   (lines 1-2)
+  // Yield points precede the accesses they announce (see yield_point.hpp);
+  // &var is the exploration identity of this variable's word.
   static value_type ll(const Var& var, Keep& keep) {
+    MOIR_YIELD_READ(&var);
     keep = Word::from_raw(var.word_.load(std::memory_order_seq_cst));
-    MOIR_YIELD_POINT();
     return keep.value();
   }
 
   // VL(addr, keep): return keep = *addr                (line 3)
   static bool vl(const Var& var, const Keep& keep) {
+    MOIR_YIELD_READ(&var);
     return var.word_.load(std::memory_order_seq_cst) == keep.raw();
   }
 
   // SC(addr, keep, new): return CAS(addr, keep, (keep.tag+1, new)) (line 4)
   static bool sc(Var& var, const Keep& keep, value_type new_value) {
-    MOIR_YIELD_POINT();
+    MOIR_YIELD_UPDATE(&var);
     std::uint64_t expected = keep.raw();
     return var.word_.compare_exchange_strong(
         expected, keep.successor(new_value).raw(), std::memory_order_seq_cst);

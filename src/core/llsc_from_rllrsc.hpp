@@ -40,14 +40,17 @@ class LlscFromRllRsc {
   };
 
   // LL(addr, keep): *keep := *addr; return keep->val   (lines 1-2)
+  // The exploration identity of this variable is its RllWord, matching the
+  // announcements rll()/rsc() make internally.
   static value_type ll(const Var& var, Keep& keep) {
+    MOIR_YIELD_READ(&var.word_);
     keep = Word::from_raw(var.word_.read());
-    MOIR_YIELD_POINT();
     return keep.value();
   }
 
   // VL(addr, keep): return keep = *addr                (line 3)
   static bool vl(const Var& var, const Keep& keep) {
+    MOIR_YIELD_READ(&var.word_);
     return var.word_.read() == keep.raw();
   }
 
@@ -57,7 +60,7 @@ class LlscFromRllRsc {
     const Word oldword = keep;                                   // line 4
     const Word newword = keep.successor(new_value);              // line 5
     for (;;) {
-      MOIR_YIELD_POINT();
+      // rll/rsc announce their own accesses; no extra yield point needed.
       if (proc.rll(var.word_) != oldword.raw()) return false;    // line 6
       if (proc.rsc(var.word_, newword.raw())) return true;       // line 7
     }

@@ -283,17 +283,18 @@ class NaiveCasLlsc {
   }
 
   value_type ll(ThreadCtx&, const Var& var, Keep& keep) const {
+    MOIR_YIELD_READ(&var);
     keep.value = var.word_.load(std::memory_order_seq_cst);
-    MOIR_YIELD_POINT();
     return keep.value;
   }
 
   bool vl(ThreadCtx&, const Var& var, const Keep& keep) const {
+    MOIR_YIELD_READ(&var);
     return var.word_.load(std::memory_order_seq_cst) == keep.value;
   }
 
   bool sc(ThreadCtx&, Var& var, const Keep& keep, value_type v) const {
-    MOIR_YIELD_POINT();
+    MOIR_YIELD_UPDATE(&var);
     std::uint64_t expected = keep.value;
     return var.word_.compare_exchange_strong(expected, v,
                                              std::memory_order_seq_cst);

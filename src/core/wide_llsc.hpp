@@ -121,17 +121,22 @@ class WideLlsc {
 
   // WLL (lines 10-12): read the header, remember its tag, and run Copy to
   // both finish any in-flight SC and collect a consistent value into `out`.
+  // Yield points precede the accesses they announce; exploration
+  // identities are the header word, the individual segment words, and the
+  // individual announcement cells. Footprints over-approximate (a declared
+  // access that a branch skips only costs reduction, never soundness).
   WllResult wll(ThreadCtx& ctx, const Var& var, Keep& keep,
                 std::span<std::uint64_t> out) {
     MOIR_ASSERT(out.size() == w_);
+    MOIR_YIELD_READ(&var.header_);
     const std::uint64_t x = var.header_.load();                     // line 10
     keep.tag = header_tag(x);                                       // line 11
-    MOIR_YIELD_POINT();
     return copy(ctx, var, x, out.data());                           // line 12
   }
 
   // VL (line 13): has a successful SC been linearized since our WLL?
   bool vl(ThreadCtx&, const Var& var, const Keep& keep) {
+    MOIR_YIELD_READ(&var.header_);
     return header_tag(var.header_.load()) == keep.tag;
   }
 
@@ -139,21 +144,26 @@ class WideLlsc {
   bool sc(ThreadCtx& ctx, Var& var, const Keep& keep,
           std::span<const std::uint64_t> newval) {
     MOIR_ASSERT(newval.size() == w_);
+    MOIR_YIELD_READ(&var.header_);
     const std::uint64_t oldhdr = var.header_.load();                // line 14
     if (header_tag(oldhdr) != keep.tag) return false;               // line 15
+    MOIR_YIELD_STEP([&] {
+      auto s = ::moir::testing::StepInfo::none();
+      for (unsigned i = 0; i < w_; ++i) s.also_write(&announce(ctx.pid, i));
+      return s;
+    }());
     for (unsigned i = 0; i < w_; ++i) {                             // line 16
       MOIR_ASSERT(newval[i] <= kMaxChunk);
       announce(ctx.pid, i).store(newval[i],
                                  std::memory_order_seq_cst);        // line 17
     }
-    MOIR_YIELD_POINT();
     const std::uint64_t newhdr = pack_header(
         add_mod_pow2(header_tag(oldhdr), 1, TagBits), ctx.pid);     // line 18
+    MOIR_YIELD_UPDATE(&var.header_);
     std::uint64_t expected = oldhdr;
     if (!var.header_.cas(ctx.words, expected, newhdr)) {            // line 19
       return false;
     }
-    MOIR_YIELD_POINT();
     copy(ctx, var, newhdr, nullptr);                                // line 20
     return true;                                                    // line 21
   }
@@ -211,9 +221,13 @@ class WideLlsc {
     const std::uint64_t prev_tag = sub_mod_pow2(want_tag, 1, TagBits);
     const unsigned src_pid = static_cast<unsigned>(header_pid(hdr));
     for (unsigned i = 0; i < w_; ++i) {                             // line 1
+      MOIR_YIELD_STEP(::moir::testing::StepInfo::read(&var.data_[i])
+                          .also_read(&var.header_));
       std::uint64_t y = var.data_[i].load();                        // line 2
-      MOIR_YIELD_POINT();
       if (segment_tag(y) == prev_tag) {                             // line 3
+        MOIR_YIELD_STEP(::moir::testing::StepInfo::read(&announce(src_pid, i))
+                            .also_update(&var.data_[i])
+                            .also_read(&var.header_));
         const std::uint64_t z = pack_segment(
             want_tag,
             announce(src_pid, i).load(std::memory_order_seq_cst));  // line 4

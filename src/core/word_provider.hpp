@@ -95,7 +95,7 @@ class RllRscWordProvider {
 
     bool cas(Ctx& ctx, std::uint64_t& expected, std::uint64_t desired) {
       for (;;) {
-        MOIR_YIELD_POINT();
+        // rll/rsc announce their own accesses; no extra yield point needed.
         const std::uint64_t cur = ctx.proc.rll(word_);   // Figure 3 line 5
         if (cur != expected) {
           expected = cur;

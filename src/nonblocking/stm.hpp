@@ -286,6 +286,25 @@ class Stm {
           try_abort(d, seq);
           goto sweep;
         }
+        // Re-validate the incarnation immediately before installing the
+        // lock. The iteration-top status check is not atomic with the SC:
+        // if this incarnation reached a terminal state in between (helpers
+        // finished it, wrote back, and released), unrelated transactions
+        // may have cycled the cell back to the claimed value, so neither
+        // the claim check nor the cell tag (which only guards changes
+        // since OUR ll, not since the claim) stops a late lock — and a
+        // late lock makes the sweep re-apply this incarnation's write-back
+        // over newer committed state. Checking status after our ll closes
+        // the hole: while Active no write-set cell is ever released, so a
+        // commit landing after this check requires an intervening lock SC
+        // on this cell, which bumps the tag and fails our SC; an abort
+        // landing here leaves only a benign lock whose release restores
+        // exactly the value the lock replaced.
+        {
+          const std::uint64_t st2 = d.status.load(std::memory_order_seq_cst);
+          if (Status::seq(st2) != seq) return;
+          if (Status::state(st2) != Status::kActive) goto sweep;
+        }
         if (Cells::sc(cells_[a], keep, lock_word(pid, seq))) break;
       }
     }

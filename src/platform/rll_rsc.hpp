@@ -84,11 +84,13 @@ class Processor {
   Processor(Processor&&) = default;
   Processor& operator=(Processor&&) = default;
 
-  // RLL: load the word and set the (single) reservation.
+  // RLL: load the word and set the (single) reservation. The yield point
+  // precedes the load it announces; &word identifies the cell to the
+  // exploration engine.
   std::uint64_t rll(const RllWord& word) {
     reserved_word_ = &word;
+    MOIR_YIELD_READ(&word);
     snapshot_ = dw_load(&word.cell_);
-    MOIR_YIELD_POINT();
     return snapshot_.value;
   }
 
@@ -106,12 +108,17 @@ class Processor {
       ++stats_.no_reservation_failures;
       return false;
     }
+    // With a fault injector attached, the step also touches the injector's
+    // shared counters — declare it opaque so exploration never treats two
+    // fault-consulting RSCs as independent.
+    MOIR_YIELD_STEP(faults_ == nullptr
+                        ? ::moir::testing::StepInfo::update(&word)
+                        : ::moir::testing::StepInfo::unknown());
     reserved_word_ = nullptr;
     if (faults_ != nullptr && faults_->should_fail()) {
       ++stats_.spurious_failures;
       return false;
     }
-    MOIR_YIELD_POINT();
     VerVal expected = snapshot_;
     const VerVal next{snapshot_.version + 1, desired};
     if (dw_compare_exchange(&word.cell_, expected, next)) {
@@ -132,12 +139,14 @@ class Processor {
       ++stats_.no_reservation_failures;
       return false;
     }
+    MOIR_YIELD_STEP(faults_ == nullptr
+                        ? ::moir::testing::StepInfo::update(&word)
+                        : ::moir::testing::StepInfo::unknown());
     reserved_word_ = nullptr;
     if (faults_ != nullptr && faults_->should_fail()) {
       ++stats_.spurious_failures;
       return false;
     }
-    MOIR_YIELD_POINT();
     VerVal cur = dw_load(&word.cell_);
     while (cur.value == snapshot_.value) {
       VerVal expected = cur;

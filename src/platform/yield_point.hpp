@@ -1,12 +1,27 @@
 // Yield-point injection for interleaving coverage on few-core hosts.
 //
 // The algorithms in src/core mark their interesting intermediate steps with
-// MOIR_YIELD_POINT(). In normal builds this compiles to nothing. Test
+// the MOIR_YIELD_* macros. In normal builds they compile to nothing. Test
 // binaries define MOIR_ENABLE_YIELD_POINTS, which makes each marked step
 // call std::this_thread::yield() with a per-thread-configurable probability.
 // On this project's single-core CI host, preemption alone rarely lands
 // between two adjacent instructions; randomized yields at algorithm steps
 // recover the schedule diversity a multicore run would give.
+//
+// Under systematic exploration (sim/controlled_scheduler.hpp) every yield
+// point is a scheduling decision instead. Yield points additionally carry
+// *access metadata* — a StepInfo declaring which shared objects the step
+// starting at this point will touch, and whether it reads or writes them.
+// The sleep-set partial-order reduction in sim/explore.hpp uses that
+// footprint to avoid permuting independent steps (different variables,
+// read/read pairs). The contract for annotated code:
+//
+//   * a yield point is placed BEFORE the access(es) it covers, and its
+//     StepInfo over-approximates every shared access performed from this
+//     point up to the next yield point (or thread exit);
+//   * code that cannot state its footprint uses the plain MOIR_YIELD_POINT,
+//     whose StepInfo is opaque — treated as conflicting with everything,
+//     which is always sound and merely forfeits reduction.
 //
 // The hooks live only in headers (the core library is header-only), so a TU
 // compiled with the macro and one without never share a definition.
@@ -21,13 +36,89 @@
 
 namespace moir::testing {
 
+// What a step does to one shared object. kUpdate is a read-modify-write
+// (CAS); it conflicts like a write.
+enum class AccessKind : std::uint8_t { kRead, kWrite, kUpdate };
+
+struct Access {
+  const void* obj = nullptr;
+  AccessKind kind = AccessKind::kRead;
+};
+
+// Declared footprint of the step beginning at a yield point. A step with
+// `opaque` set has an unknown footprint and is dependent with every other
+// step. More accesses than kMaxAccesses degrade to opaque (never dropped).
+struct StepInfo {
+  static constexpr unsigned kMaxAccesses = 4;
+
+  Access accesses[kMaxAccesses] = {};
+  std::uint8_t count = 0;
+  bool opaque = true;
+
+  static StepInfo unknown() {
+    StepInfo s;
+    return s;
+  }
+
+  // A step with no shared accesses (thread-private work only).
+  static StepInfo none() {
+    StepInfo s;
+    s.opaque = false;
+    return s;
+  }
+
+  static StepInfo read(const void* obj) {
+    return none().also(AccessKind::kRead, obj);
+  }
+  static StepInfo write(const void* obj) {
+    return none().also(AccessKind::kWrite, obj);
+  }
+  static StepInfo update(const void* obj) {
+    return none().also(AccessKind::kUpdate, obj);
+  }
+
+  StepInfo& also(AccessKind kind, const void* obj) {
+    if (count >= kMaxAccesses) {
+      opaque = true;  // footprint overflow: stay sound, lose reduction
+      return *this;
+    }
+    accesses[count++] = Access{obj, kind};
+    return *this;
+  }
+  StepInfo& also_read(const void* obj) { return also(AccessKind::kRead, obj); }
+  StepInfo& also_write(const void* obj) {
+    return also(AccessKind::kWrite, obj);
+  }
+  StepInfo& also_update(const void* obj) {
+    return also(AccessKind::kUpdate, obj);
+  }
+};
+
+// Valid (conservative) dependence relation: two steps of different threads
+// are independent only if both footprints are declared and no object is
+// shared with at least one side writing it.
+inline bool steps_dependent(const StepInfo& a, const StepInfo& b) {
+  if (a.opaque || b.opaque) return true;
+  for (unsigned i = 0; i < a.count; ++i) {
+    for (unsigned j = 0; j < b.count; ++j) {
+      if (a.accesses[i].obj != b.accesses[j].obj) continue;
+      if (a.accesses[i].kind != AccessKind::kRead ||
+          b.accesses[j].kind != AccessKind::kRead) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
 // Hook for the controlled scheduler (sim/controlled_scheduler.hpp): when a
 // thread runs under systematic exploration, every yield point becomes a
-// scheduling decision instead of a random yield.
+// scheduling decision instead of a random yield. `next_step` is the
+// declared footprint of the step the thread will run when rescheduled.
 class YieldInterceptor {
  public:
   virtual ~YieldInterceptor() = default;
-  virtual void on_yield_point() = 0;
+  virtual void on_yield_point(const StepInfo& next_step) = 0;
 };
 
 struct YieldState {
@@ -52,10 +143,10 @@ inline void set_yield_interceptor(YieldInterceptor* interceptor) {
   tls_yield_state.interceptor = interceptor;
 }
 
-inline void maybe_yield() {
+inline void maybe_yield(const StepInfo& info) {
   auto& st = tls_yield_state;
   if (st.interceptor != nullptr) {
-    st.interceptor->on_yield_point();
+    st.interceptor->on_yield_point(info);
     return;
   }
   if (st.yield_num != 0 && st.rng.next_below(1u << 20) < st.yield_num) {
@@ -65,7 +156,20 @@ inline void maybe_yield() {
 
 }  // namespace moir::testing
 
-#define MOIR_YIELD_POINT() ::moir::testing::maybe_yield()
+#define MOIR_YIELD_POINT() \
+  ::moir::testing::maybe_yield(::moir::testing::StepInfo::unknown())
+#define MOIR_YIELD_READ(obj) \
+  ::moir::testing::maybe_yield(::moir::testing::StepInfo::read(obj))
+#define MOIR_YIELD_WRITE(obj) \
+  ::moir::testing::maybe_yield(::moir::testing::StepInfo::write(obj))
+#define MOIR_YIELD_UPDATE(obj) \
+  ::moir::testing::maybe_yield(::moir::testing::StepInfo::update(obj))
+// Arbitrary footprint: MOIR_YIELD_STEP(StepInfo::read(a).also_update(b)).
+#define MOIR_YIELD_STEP(...) ::moir::testing::maybe_yield(__VA_ARGS__)
 #else
 #define MOIR_YIELD_POINT() ((void)0)
+#define MOIR_YIELD_READ(obj) ((void)0)
+#define MOIR_YIELD_WRITE(obj) ((void)0)
+#define MOIR_YIELD_UPDATE(obj) ((void)0)
+#define MOIR_YIELD_STEP(...) ((void)0)
 #endif

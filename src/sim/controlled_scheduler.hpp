@@ -1,18 +1,23 @@
 // Systematic concurrency testing (CHESS-style) for the paper's algorithms.
 //
 // The production algorithms mark their shared-memory interleaving points
-// with MOIR_YIELD_POINT(). Under the ControlledScheduler exactly one
+// with the MOIR_YIELD_* macros. Under the ControlledScheduler exactly one
 // worker runs at a time and each yield point hands control back to the
-// scheduler, which consults an Explorer-provided schedule. The Explorer
-// performs stateless depth-first search over the schedule tree: it re-runs
-// the (deterministic, freshly-constructed) test body once per schedule
-// until the tree is exhausted or a trial budget is hit.
+// scheduler, which consults a caller-provided policy (exhaustive DFS, PCT
+// randomized priorities, or a fixed replay schedule — see sim/explore.hpp).
 //
-// A violation found this way is a real interleaving bug, reproducible from
-// its schedule. Exhaustiveness is relative to yield-point granularity:
-// code between two yield points executes atomically with respect to
-// exploration (all shared accesses are std::atomic, so this coarsening is
-// sound — it only reduces the number of distinct schedules examined).
+// Each yield point also announces the declared footprint (StepInfo) of the
+// step the thread will execute when next resumed; the scheduler surfaces
+// those footprints to the policy so partial-order reduction can recognize
+// independent steps. A thread that has not yet reached its first yield
+// point has the empty footprint: the instrumentation contract (see
+// platform/yield_point.hpp) requires bodies to do only thread-private work
+// before their first annotated access.
+//
+// Exhaustiveness is relative to yield-point granularity: code between two
+// yield points executes atomically with respect to exploration (all shared
+// accesses are std::atomic, so this coarsening is sound — it only reduces
+// the number of distinct schedules examined).
 //
 // Requires MOIR_ENABLE_YIELD_POINTS (defined by all test targets).
 #pragma once
@@ -33,14 +38,21 @@
 
 namespace moir::testing {
 
+// One thread eligible to run at a decision point, together with the
+// declared footprint of the step it would execute.
+struct RunnableThread {
+  unsigned id = 0;
+  StepInfo step;
+};
+
 // Serializes a set of worker bodies: one runs at a time; every yield point
 // is a scheduling decision delegated to `pick`.
 class ControlledScheduler {
  public:
-  // pick(runnable, decision_index) returns an index into `runnable`.
-  using PickFn =
-      std::function<std::size_t(const std::vector<unsigned>& runnable,
-                                std::size_t decision_index)>;
+  // pick(runnable, decision_index) returns the id of the thread to run
+  // next; it must be the id of one of the `runnable` entries.
+  using PickFn = std::function<unsigned(
+      const std::vector<RunnableThread>& runnable, std::size_t decision_index)>;
 
   // Runs all bodies to completion under the schedule that `pick` dictates.
   // Returns the number of scheduling decisions taken.
@@ -68,18 +80,22 @@ class ControlledScheduler {
   enum class State : std::uint8_t { kWaiting, kRunning, kDone };
   static constexpr unsigned kNone = ~0u;
 
-  explicit ControlledScheduler(unsigned n) : states_(n, State::kWaiting) {}
+  explicit ControlledScheduler(unsigned n)
+      : states_(n, State::kWaiting), steps_(n, StepInfo::none()) {}
 
   struct Interceptor final : YieldInterceptor {
     Interceptor(ControlledScheduler* s, unsigned i) : sched(s), id(i) {}
     ControlledScheduler* sched;
     unsigned id;
-    void on_yield_point() override { sched->yield_point(id); }
+    void on_yield_point(const StepInfo& next_step) override {
+      sched->yield_point(id, next_step);
+    }
   };
 
-  void yield_point(unsigned self) {
+  void yield_point(unsigned self, const StepInfo& next_step) {
     std::unique_lock<std::mutex> lock(mutex_);
     states_[self] = State::kWaiting;
+    steps_[self] = next_step;
     current_ = kNone;
     cv_.notify_all();
     cv_.wait(lock, [&] { return current_ == self; });
@@ -110,15 +126,19 @@ class ControlledScheduler {
         }
         return true;
       });
-      std::vector<unsigned> runnable;
+      std::vector<RunnableThread> runnable;
       for (unsigned i = 0; i < states_.size(); ++i) {
-        if (states_[i] == State::kWaiting) runnable.push_back(i);
+        if (states_[i] == State::kWaiting) {
+          runnable.push_back(RunnableThread{i, steps_[i]});
+        }
       }
       if (runnable.empty()) return decisions;  // all done
-      const std::size_t choice = pick(runnable, decisions);
-      MOIR_ASSERT(choice < runnable.size());
+      const unsigned choice = pick(runnable, decisions);
+      MOIR_ASSERT_MSG(choice < states_.size() &&
+                          states_[choice] == State::kWaiting,
+                      "pick() returned a thread that is not runnable");
       ++decisions;
-      current_ = runnable[choice];
+      current_ = choice;
       cv_.notify_all();
     }
   }
@@ -126,95 +146,8 @@ class ControlledScheduler {
   std::mutex mutex_;
   std::condition_variable cv_;
   std::vector<State> states_;
+  std::vector<StepInfo> steps_;
   unsigned current_ = kNone;
-};
-
-// Stateless DFS over the schedule tree.
-class ScheduleExplorer {
- public:
-  struct Result {
-    std::size_t trials = 0;
-    bool exhausted = false;      // full tree covered within the budget
-    bool violation_found = false;
-    std::vector<std::size_t> violating_schedule;  // replayable choices
-  };
-
-  // `make_trial` builds a fresh trial: it returns the worker bodies and an
-  // `check` functor run after the trial; check() returning false marks the
-  // schedule as violating.
-  struct Trial {
-    std::vector<std::function<void()>> bodies;
-    std::function<bool()> check;
-  };
-
-  // Explores until the tree is exhausted or max_trials is reached. Stops
-  // early at the first violation unless keep_going.
-  static Result explore(const std::function<Trial()>& make_trial,
-                        std::size_t max_trials, bool keep_going = false) {
-    Result result;
-    struct Decision {
-      std::size_t choice;
-      std::size_t options;
-    };
-    std::vector<Decision> prefix;
-
-    for (;;) {
-      if (result.trials >= max_trials) return result;
-      ++result.trials;
-
-      Trial trial = make_trial();
-      std::vector<Decision> taken;
-      ControlledScheduler::run(
-          std::move(trial.bodies),
-          [&](const std::vector<unsigned>& runnable, std::size_t d) {
-            std::size_t choice = 0;
-            if (d < prefix.size()) {
-              choice = prefix[d].choice;
-              // The tree shape must be deterministic for replay to work.
-              MOIR_ASSERT_MSG(choice < runnable.size(),
-                              "nondeterministic trial: schedule replay "
-                              "diverged (fewer runnable threads)");
-            }
-            taken.push_back(Decision{choice, runnable.size()});
-            return choice;
-          });
-
-      if (!trial.check()) {
-        result.violation_found = true;
-        result.violating_schedule.clear();
-        for (const auto& d : taken) {
-          result.violating_schedule.push_back(d.choice);
-        }
-        if (!keep_going) return result;
-      }
-
-      // Backtrack: advance the deepest decision with remaining options.
-      prefix = std::move(taken);
-      while (!prefix.empty() &&
-             prefix.back().choice + 1 >= prefix.back().options) {
-        prefix.pop_back();
-      }
-      if (prefix.empty()) {
-        result.exhausted = true;
-        return result;
-      }
-      ++prefix.back().choice;
-    }
-  }
-
-  // Replays one schedule (e.g. a violating one) for debugging.
-  static void replay(const std::function<Trial()>& make_trial,
-                     const std::vector<std::size_t>& schedule) {
-    Trial trial = make_trial();
-    ControlledScheduler::run(
-        std::move(trial.bodies),
-        [&](const std::vector<unsigned>& runnable, std::size_t d) {
-          const std::size_t choice =
-              d < schedule.size() ? schedule[d] : 0;
-          return choice < runnable.size() ? choice : 0;
-        });
-    (void)trial.check();
-  }
 };
 
 }  // namespace moir::testing

@@ -1,0 +1,349 @@
+// Schedule exploration policies over the ControlledScheduler.
+//
+// Three ways to walk the schedule tree of a deterministic multi-threaded
+// trial, all producing replayable Schedules (sim/schedule.hpp):
+//
+//  * ScheduleExplorer::explore — stateless depth-first search, optionally
+//    with SLEEP-SET partial-order reduction. Sleep sets (Godefroid) prune a
+//    branch when the step it would explore was already explored from an
+//    earlier sibling and commutes with everything executed since: the
+//    pruned interleaving is Mazurkiewicz-equivalent to one already covered.
+//    With a valid dependence relation (steps_dependent over the declared
+//    yield-point footprints — conservative: any opaque step conflicts with
+//    everything), every reachable final state is still visited, so checking
+//    a predicate over the final state loses nothing. Reduction soundness
+//    additionally requires the instrumentation contract of
+//    platform/yield_point.hpp: every shared access covered by the footprint
+//    of the yield point that precedes it, thread-private prologues, and
+//    accesses whose order is invisible to check() (e.g. per-thread result
+//    slots) may be omitted. Enable via ExploreOptions::sleep_sets only for
+//    trials that honor the contract.
+//
+//  * ScheduleExplorer::pct_explore — PCT randomized priority scheduling
+//    (Burckhardt et al., ASPLOS'10): each run draws random thread
+//    priorities plus d-1 priority-change points; the highest-priority
+//    runnable thread always runs. A bug of preemption depth d is found with
+//    probability >= 1/(n * k^(d-1)) per run, independent of how deep the
+//    schedule tree is — this is what reaches the 3+ thread bugs the DFS
+//    budget cannot.
+//
+//  * ScheduleExplorer::replay — deterministically re-executes one recorded
+//    Schedule (e.g. from a failure report).
+//
+// Requires MOIR_ENABLE_YIELD_POINTS (defined by all test targets).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/controlled_scheduler.hpp"
+#include "sim/schedule.hpp"
+#include "util/assertion.hpp"
+#include "util/rng.hpp"
+
+namespace moir::testing {
+
+struct ExploreOptions {
+  std::size_t max_trials = 100000;
+  // Enable sleep-set partial-order reduction. The trial must honor the
+  // instrumentation contract (see file comment); when in doubt leave off —
+  // plain DFS is always sound.
+  bool sleep_sets = false;
+  // Keep exploring after the first violation (the last one found is kept).
+  bool keep_going = false;
+};
+
+struct PctOptions {
+  std::size_t runs = 1000;
+  unsigned depth = 3;             // d: bug depth targeted (d-1 change points)
+  std::size_t change_range = 64;  // k: estimated schedule length
+  std::uint64_t seed = 0x9e3779b9u;
+};
+
+class ScheduleExplorer {
+ public:
+  struct Result {
+    std::size_t trials = 0;
+    std::size_t sleep_pruned = 0;  // trials cut short by sleep-set pruning
+    bool exhausted = false;        // full (reduced) tree covered in budget
+    bool violation_found = false;
+    Schedule violating_schedule;   // replayable decision sequence
+
+    std::string schedule_string() const { return violating_schedule.str(); }
+  };
+
+  // `make_trial` builds a fresh trial: it returns the worker bodies and a
+  // `check` functor run after the trial; check() returning false marks the
+  // schedule as violating. Trials must be deterministic functions of the
+  // decision sequence (fresh state each call, no wall-clock or global RNG).
+  struct Trial {
+    std::vector<std::function<void()>> bodies;
+    std::function<bool()> check;
+  };
+  using MakeTrial = std::function<Trial()>;
+
+  // Depth-first search over the schedule tree, optionally sleep-set
+  // reduced. Stops early at the first violation unless keep_going.
+  static Result explore(const MakeTrial& make_trial,
+                        const ExploreOptions& options) {
+    Result result;
+    std::vector<Node> stack;
+
+    for (;;) {
+      if (result.trials >= options.max_trials) return result;
+      ++result.trials;
+
+      Trial trial = make_trial();
+      Schedule taken;
+      bool pruned_mode = false;
+      ControlledScheduler::run(
+          std::move(trial.bodies),
+          [&](const std::vector<RunnableThread>& runnable, std::size_t d) {
+            unsigned choice;
+            if (d < stack.size()) {
+              // Replaying the prefix of the previous trial.
+              const Node& node = stack[d];
+              MOIR_ASSERT_MSG(same_threads(node.runnable, runnable),
+                              "nondeterministic trial: schedule replay "
+                              "diverged (runnable set changed)");
+              choice = node.chosen;
+            } else {
+              Node node;
+              node.runnable = runnable;
+              node.tail = pruned_mode;
+              if (options.sleep_sets && !pruned_mode) {
+                node.sleep = child_sleep(stack, d);
+                choice = first_not_in(runnable, node.sleep, node.done);
+                if (choice == kNone) {
+                  // Every continuation from here is trace-equivalent to one
+                  // explored from an earlier sibling: finish the run without
+                  // creating branch points.
+                  ++result.sleep_pruned;
+                  pruned_mode = true;
+                  node.tail = true;
+                  choice = runnable.front().id;
+                }
+              } else {
+                choice = runnable.front().id;
+              }
+              node.chosen = choice;
+              stack.push_back(std::move(node));
+            }
+            taken.threads.push_back(choice);
+            return choice;
+          });
+
+      if (!trial.check()) {
+        result.violation_found = true;
+        result.violating_schedule = taken;
+        if (!options.keep_going) return result;
+      }
+
+      // Backtrack: drop forced tail nodes, then advance the deepest node
+      // with an unexplored, non-sleeping alternative.
+      while (!stack.empty()) {
+        Node& node = stack.back();
+        if (node.tail) {
+          stack.pop_back();
+          continue;
+        }
+        node.done.push_back(node.chosen);
+        const unsigned next =
+            first_not_in(node.runnable, node.sleep, node.done);
+        if (next != kNone) {
+          node.chosen = next;
+          break;
+        }
+        stack.pop_back();
+      }
+      if (stack.empty()) {
+        result.exhausted = true;
+        return result;
+      }
+    }
+  }
+
+  // Legacy convenience signature.
+  static Result explore(const MakeTrial& make_trial, std::size_t max_trials,
+                        bool keep_going = false) {
+    return explore(make_trial,
+                   ExploreOptions{max_trials, /*sleep_sets=*/false, keep_going});
+  }
+
+  // PCT randomized exploration: `runs` independent runs, each under fresh
+  // random priorities derived from options.seed + run index.
+  static Result pct_explore(const MakeTrial& make_trial,
+                            const PctOptions& options) {
+    Result result;
+    for (std::size_t run = 0; run < options.runs; ++run) {
+      ++result.trials;
+      Trial trial = make_trial();
+      PctScheduler pct(options.depth, options.change_range,
+                       options.seed + run);
+      Schedule taken;
+      ControlledScheduler::run(
+          std::move(trial.bodies),
+          [&](const std::vector<RunnableThread>& runnable, std::size_t d) {
+            const unsigned choice = pct.pick(runnable, d);
+            taken.threads.push_back(choice);
+            return choice;
+          });
+      if (!trial.check()) {
+        result.violation_found = true;
+        result.violating_schedule = taken;
+        return result;
+      }
+    }
+    return result;
+  }
+
+  // Replays one schedule (e.g. a violating one) and returns check()'s
+  // verdict. Decisions beyond the schedule's end (or naming threads that
+  // are not runnable, which indicates the schedule is for a different
+  // trial) fall back to the first runnable thread.
+  static bool replay(const MakeTrial& make_trial, const Schedule& schedule) {
+    Trial trial = make_trial();
+    ControlledScheduler::run(
+        std::move(trial.bodies),
+        [&](const std::vector<RunnableThread>& runnable, std::size_t d) {
+          if (d < schedule.threads.size()) {
+            const unsigned want = schedule.threads[d];
+            for (const RunnableThread& rt : runnable) {
+              if (rt.id == want) return want;
+            }
+          }
+          return runnable.front().id;
+        });
+    return trial.check();
+  }
+
+  // PCT priority scheduler, usable directly as a ControlledScheduler pick
+  // policy. Priorities are assigned lazily from a per-run RNG; at each of
+  // the d-1 pre-drawn change points the currently-leading thread drops to
+  // the lowest priority seen so far.
+  class PctScheduler {
+   public:
+    PctScheduler(unsigned depth, std::size_t change_range, std::uint64_t seed)
+        : rng_(seed) {
+      const unsigned changes = depth > 0 ? depth - 1 : 0;
+      for (unsigned i = 0; i < changes; ++i) {
+        change_points_.push_back(
+            rng_.next_below(change_range == 0 ? 1 : change_range));
+      }
+    }
+
+    unsigned pick(const std::vector<RunnableThread>& runnable,
+                  std::size_t decision_index) {
+      const RunnableThread* best = nullptr;
+      std::uint64_t best_prio = 0;
+      for (const RunnableThread& rt : runnable) {
+        const std::uint64_t p = priority(rt.id);
+        if (best == nullptr || p > best_prio) {
+          best = &rt;
+          best_prio = p;
+        }
+      }
+      if (std::count(change_points_.begin(), change_points_.end(),
+                     decision_index) > 0) {
+        // Demote the leader below everything assigned so far and re-pick.
+        priorities_[best->id] = floor_--;
+        return pick_highest(runnable);
+      }
+      return best->id;
+    }
+
+   private:
+    unsigned pick_highest(const std::vector<RunnableThread>& runnable) {
+      const RunnableThread* best = nullptr;
+      std::uint64_t best_prio = 0;
+      for (const RunnableThread& rt : runnable) {
+        const std::uint64_t p = priority(rt.id);
+        if (best == nullptr || p > best_prio) {
+          best = &rt;
+          best_prio = p;
+        }
+      }
+      return best->id;
+    }
+
+    std::uint64_t priority(unsigned id) {
+      if (id >= priorities_.size()) priorities_.resize(id + 1, 0);
+      if (priorities_[id] == 0) {
+        // Random priorities live in the upper half; demotions count down
+        // from just below them, so a demoted thread ranks under every
+        // undemoted one but demotions stay mutually ordered.
+        priorities_[id] = (1ULL << 63) | rng_.next();
+      }
+      return priorities_[id];
+    }
+
+    Xoshiro256 rng_;
+    std::vector<std::uint64_t> change_points_;
+    std::vector<std::uint64_t> priorities_;
+    std::uint64_t floor_ = (1ULL << 62);
+  };
+
+ private:
+  static constexpr unsigned kNone = ~0u;
+
+  struct Node {
+    std::vector<RunnableThread> runnable;
+    std::vector<unsigned> sleep;  // thread ids asleep on entry to this node
+    std::vector<unsigned> done;   // alternatives already fully explored
+    unsigned chosen = 0;
+    bool tail = false;  // forced continuation of a pruned run; not a branch
+  };
+
+  static bool contains(const std::vector<unsigned>& v, unsigned id) {
+    return std::find(v.begin(), v.end(), id) != v.end();
+  }
+
+  static bool same_threads(const std::vector<RunnableThread>& a,
+                           const std::vector<RunnableThread>& b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (a[i].id != b[i].id) return false;
+    }
+    return true;
+  }
+
+  static unsigned first_not_in(const std::vector<RunnableThread>& runnable,
+                               const std::vector<unsigned>& sleep,
+                               const std::vector<unsigned>& done) {
+    for (const RunnableThread& rt : runnable) {
+      if (!contains(sleep, rt.id) && !contains(done, rt.id)) return rt.id;
+    }
+    return kNone;
+  }
+
+  // Sleep set inherited by the node at depth d: the parent's sleeping and
+  // already-explored threads whose pending steps are independent of the
+  // step the parent chose (Godefroid's inheritance rule).
+  static std::vector<unsigned> child_sleep(const std::vector<Node>& stack,
+                                           std::size_t d) {
+    std::vector<unsigned> sleep;
+    if (d == 0) return sleep;
+    const Node& parent = stack[d - 1];
+    const StepInfo* chosen_step = nullptr;
+    for (const RunnableThread& rt : parent.runnable) {
+      if (rt.id == parent.chosen) chosen_step = &rt.step;
+    }
+    MOIR_ASSERT(chosen_step != nullptr);
+    auto consider = [&](unsigned id) {
+      if (id == parent.chosen || contains(sleep, id)) return;
+      for (const RunnableThread& rt : parent.runnable) {
+        if (rt.id == id && !steps_dependent(rt.step, *chosen_step)) {
+          sleep.push_back(id);
+          return;
+        }
+      }
+    };
+    for (const unsigned id : parent.sleep) consider(id);
+    for (const unsigned id : parent.done) consider(id);
+    return sleep;
+  }
+};
+
+}  // namespace moir::testing

@@ -1,0 +1,71 @@
+// Replayable schedules for systematic concurrency testing.
+//
+// A Schedule is the complete sequence of scheduling decisions of one run
+// under the ControlledScheduler, recorded as thread indices (the index of
+// the worker body picked at each decision point). Because trials are
+// deterministic given the decision sequence, a Schedule is a portable,
+// copy-pasteable reproduction of an interleaving: every failure report in
+// the exploration tests prints one, and ScheduleExplorer::replay() turns it
+// back into the exact same run.
+//
+// Wire format: "ms1:" followed by dot-separated decimal thread indices,
+// e.g. "ms1:0.1.1.0.2". An empty schedule is "ms1:".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace moir::testing {
+
+struct Schedule {
+  std::vector<unsigned> threads;
+
+  bool empty() const { return threads.empty(); }
+  std::size_t size() const { return threads.size(); }
+
+  std::string str() const {
+    std::string out = "ms1:";
+    for (std::size_t i = 0; i < threads.size(); ++i) {
+      if (i != 0) out += '.';
+      out += std::to_string(threads[i]);
+    }
+    return out;
+  }
+
+  // Parses the wire format back; nullopt on any malformed input.
+  static std::optional<Schedule> parse(std::string_view s) {
+    constexpr std::string_view kPrefix = "ms1:";
+    if (s.substr(0, kPrefix.size()) != kPrefix) return std::nullopt;
+    s.remove_prefix(kPrefix.size());
+    Schedule sched;
+    if (s.empty()) return sched;
+    unsigned cur = 0;
+    bool have_digit = false;
+    for (const char c : s) {
+      if (c == '.') {
+        if (!have_digit) return std::nullopt;
+        sched.threads.push_back(cur);
+        cur = 0;
+        have_digit = false;
+      } else if (c >= '0' && c <= '9') {
+        // No real trial has thread ids anywhere near this bound; rejecting
+        // here keeps overlong ids from silently wrapping to valid ones.
+        if (cur > (~0u - 9) / 10) return std::nullopt;
+        cur = cur * 10 + static_cast<unsigned>(c - '0');
+        have_digit = true;
+      } else {
+        return std::nullopt;
+      }
+    }
+    if (!have_digit) return std::nullopt;
+    sched.threads.push_back(cur);
+    return sched;
+  }
+
+  friend bool operator==(const Schedule&, const Schedule&) = default;
+};
+
+}  // namespace moir::testing

@@ -1,0 +1,37 @@
+// Environment-variable knobs shared by tests and benches.
+//
+// CI shards and local deep runs tune budgets and seeds without recompiling:
+//   MOIR_SEED           base seed for every randomized component
+//   MOIR_EXPLORE_SCALE  multiplier for exploration trial/run budgets
+//   MOIR_BENCH_QUICK    benches divide op counts by 10 (see bench/common.hpp)
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+
+namespace moir {
+
+inline std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* s = std::getenv(name);
+  if (s == nullptr || *s == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 0);
+  return (end == nullptr || *end != '\0') ? fallback
+                                          : static_cast<std::uint64_t>(v);
+}
+
+// Base seed for randomized schedules / yield fuzzing; sweep in CI via
+// MOIR_SEED to diversify coverage across runs.
+inline std::uint64_t base_seed(std::uint64_t fallback = 0x9e3779b9u) {
+  return env_u64("MOIR_SEED", fallback);
+}
+
+// Budget multiplier for the deep exploration shards: tier-1 runs keep the
+// default (1), nightly/explore shards export MOIR_EXPLORE_SCALE=10 or more.
+inline std::uint64_t explore_scale() { return env_u64("MOIR_EXPLORE_SCALE", 1); }
+
+inline std::size_t scaled_budget(std::size_t base) {
+  return static_cast<std::size_t>(base * explore_scale());
+}
+
+}  // namespace moir

@@ -1,21 +1,48 @@
 // Systematic (exhaustive, within yield-point granularity) exploration of
-// small configurations of the paper's algorithms, plus a positive control:
+// small configurations of the paper's algorithms, plus positive controls:
 // the same explorer FINDS the ABA bug in the naive "LL=load, SC=CAS"
-// emulation. An explorer that never finds planted bugs proves nothing.
-#include "sim/controlled_scheduler.hpp"
+// emulation, with and without sleep-set reduction. An explorer that never
+// finds planted bugs proves nothing.
+//
+// Every violation report carries a schedule string ("ms1:...") that
+// ScheduleExplorer::replay turns back into the exact interleaving.
+#include "sim/explore.hpp"
 
 #include <gtest/gtest.h>
 
 #include <memory>
 
 #include "core/bounded_llsc.hpp"
+#include "core/llsc_from_rllrsc.hpp"
 #include "core/llsc_traits.hpp"
 #include "core/wide_llsc.hpp"
+#include "sim/schedule.hpp"
+#include "util/env.hpp"
 
 namespace moir {
 namespace {
 
+using testing::ExploreOptions;
+using testing::Schedule;
 using testing::ScheduleExplorer;
+using testing::StepInfo;
+
+TEST(Schedule, StringRoundTrip) {
+  const Schedule s{{0, 1, 1, 0, 2, 17}};
+  EXPECT_EQ(s.str(), "ms1:0.1.1.0.2.17");
+  const auto parsed = Schedule::parse(s.str());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, s);
+
+  const auto empty = Schedule::parse("ms1:");
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_TRUE(empty->empty());
+
+  EXPECT_FALSE(Schedule::parse("0.1.2").has_value());
+  EXPECT_FALSE(Schedule::parse("ms1:0..1").has_value());
+  EXPECT_FALSE(Schedule::parse("ms1:0.x").has_value());
+  EXPECT_FALSE(Schedule::parse("ms1:3.").has_value());
+}
 
 // ---------------------------------------------------------------------
 // Figure 4: two threads, two LL/SC increments each. Every interleaving
@@ -27,89 +54,116 @@ TEST(Exploration, Fig4CounterExhaustive) {
   auto make_trial = [] {
     struct Shared {
       L::Var var{0};
-      std::uint64_t successes = 0;  // only mutated while scheduled alone
+      std::uint64_t successes[2] = {0, 0};  // per-thread: no hidden conflicts
     };
     auto shared = std::make_shared<Shared>();
     ScheduleExplorer::Trial trial;
     for (int t = 0; t < 2; ++t) {
-      trial.bodies.push_back([shared] {
+      trial.bodies.push_back([shared, t] {
         for (int i = 0; i < 2; ++i) {
           L::Keep keep;
           const std::uint64_t v = L::ll(shared->var, keep);
-          shared->successes += L::sc(shared->var, keep, (v + 1) & 0xffff);
+          shared->successes[t] += L::sc(shared->var, keep, (v + 1) & 0xffff);
         }
       });
     }
     trial.check = [shared] {
-      return shared->var.read() == shared->successes;
+      return shared->var.read() ==
+             shared->successes[0] + shared->successes[1];
     };
     return trial;
   };
 
   const auto r = ScheduleExplorer::explore(make_trial, 100000);
   EXPECT_TRUE(r.exhausted) << "schedule tree unexpectedly large";
-  EXPECT_FALSE(r.violation_found);
+  EXPECT_FALSE(r.violation_found) << r.schedule_string();
   EXPECT_GT(r.trials, 10u) << "exploration degenerated to one schedule";
 }
 
-// The same harness must CATCH a real bug: with the ABA-blind strawman,
-// the classic stale-SC interleaving slips through and breaks the stack
-// next-pointer invariant.
-TEST(Exploration, ExplorerFindsNaiveCasAba) {
+// ---------------------------------------------------------------------
+// Positive control: the ABA-blind strawman. The classic stale-SC
+// interleaving slips through and breaks the stack next-pointer invariant.
+// `announce_next` declares the test body's own accesses to the shared
+// next_of array, so the same trial is also sound under sleep sets.
+// ---------------------------------------------------------------------
+ScheduleExplorer::Trial make_naive_aba_trial() {
   using S = NaiveCasLlsc<16>;
 
-  auto make_trial = [] {
-    struct Shared {
-      S s;
-      S::Var head;
-      // next_of models node links as in the staged ABA test.
-      std::uint32_t next_of[3] = {99, 0, 1};
-      bool victim_sc_ok = false;
-      bool adversary_ok = true;
-    };
-    auto sh = std::make_shared<Shared>();
-    sh->s.init_var(sh->head, 2);  // stack: C(2) -> B(1) -> A(0)
-
-    ScheduleExplorer::Trial trial;
-    // Victim: pop prologue (LL head, read next), then SC.
-    trial.bodies.push_back([sh] {
-      auto ctx = sh->s.make_ctx();
-      S::Keep keep;
-      const std::uint64_t h = sh->s.ll(ctx, sh->head, keep);
-      const std::uint32_t next = sh->next_of[h];
-      sh->victim_sc_ok = sh->s.sc(ctx, sh->head, keep, next);
-    });
-    // Adversary: pop C, pop B, push C back (C recycled with next=A).
-    trial.bodies.push_back([sh] {
-      auto ctx = sh->s.make_ctx();
-      for (int step = 0; step < 3; ++step) {
-        S::Keep k;
-        const std::uint64_t h = sh->s.ll(ctx, sh->head, k);
-        std::uint64_t target;
-        if (step < 2) {
-          target = sh->next_of[h];  // pop
-        } else {
-          sh->next_of[2] = 0;       // recycle C with next = A
-          target = 2;               // push C
-        }
-        sh->adversary_ok &= sh->s.sc(ctx, sh->head, k, target);
-      }
-    });
-    // Violation: the victim's SC succeeded after the full adversary run
-    // (head went C -> B -> A -> C), installing a dangling head (B is
-    // free). Detect: head == B(1) while the adversary completed.
-    trial.check = [sh] {
-      const bool aba_corruption = sh->adversary_ok && sh->victim_sc_ok &&
-                                  sh->s.read(sh->head) == 1;
-      return !aba_corruption;
-    };
-    return trial;
+  struct Shared {
+    S s;
+    S::Var head;
+    // next_of models node links as in the staged ABA test.
+    std::uint32_t next_of[3] = {99, 0, 1};
+    bool victim_sc_ok = false;
+    bool adversary_ok = true;
   };
+  auto sh = std::make_shared<Shared>();
+  sh->s.init_var(sh->head, 2);  // stack: C(2) -> B(1) -> A(0)
 
-  const auto r = ScheduleExplorer::explore(make_trial, 100000);
+  ScheduleExplorer::Trial trial;
+  // Victim: pop prologue (LL head, read next), then SC.
+  trial.bodies.push_back([sh] {
+    auto ctx = sh->s.make_ctx();
+    S::Keep keep;
+    const std::uint64_t h = sh->s.ll(ctx, sh->head, keep);
+    MOIR_YIELD_STEP(StepInfo::read(&sh->next_of));
+    const std::uint32_t next = sh->next_of[h];
+    sh->victim_sc_ok = sh->s.sc(ctx, sh->head, keep, next);
+  });
+  // Adversary: pop C, pop B, push C back (C recycled with next=A).
+  trial.bodies.push_back([sh] {
+    auto ctx = sh->s.make_ctx();
+    for (int step = 0; step < 3; ++step) {
+      S::Keep k;
+      const std::uint64_t h = sh->s.ll(ctx, sh->head, k);
+      MOIR_YIELD_STEP(StepInfo::write(&sh->next_of));
+      std::uint64_t target;
+      if (step < 2) {
+        target = sh->next_of[h];  // pop
+      } else {
+        sh->next_of[2] = 0;       // recycle C with next = A
+        target = 2;               // push C
+      }
+      sh->adversary_ok &= sh->s.sc(ctx, sh->head, k, target);
+    }
+  });
+  // Violation: the victim's SC succeeded after the full adversary run
+  // (head went C -> B -> A -> C), installing a dangling head (B is
+  // free). Detect: head == B(1) while the adversary completed.
+  trial.check = [sh] {
+    const bool aba_corruption = sh->adversary_ok && sh->victim_sc_ok &&
+                                sh->s.read(sh->head) == 1;
+    return !aba_corruption;
+  };
+  return trial;
+}
+
+TEST(Exploration, ExplorerFindsNaiveCasAba) {
+  const auto r = ScheduleExplorer::explore(make_naive_aba_trial, 100000);
   EXPECT_TRUE(r.violation_found)
       << "explorer failed to find the planted ABA bug (positive control)";
-  EXPECT_FALSE(r.violating_schedule.empty());
+  ASSERT_FALSE(r.violating_schedule.empty());
+
+  // The failure report's schedule string deterministically replays the
+  // violating interleaving.
+  const auto parsed = Schedule::parse(r.schedule_string());
+  ASSERT_TRUE(parsed.has_value()) << r.schedule_string();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(ScheduleExplorer::replay(make_naive_aba_trial, *parsed))
+        << "schedule " << r.schedule_string() << " did not replay the bug";
+  }
+}
+
+// Sleep-set reduction must not prune the bug away: the reduced search
+// still finds the planted ABA, in no more trials than the full search.
+TEST(Exploration, SleepSetsStillFindNaiveCasAba) {
+  const auto full = ScheduleExplorer::explore(make_naive_aba_trial, 100000);
+  const auto reduced = ScheduleExplorer::explore(
+      make_naive_aba_trial,
+      ExploreOptions{.max_trials = 100000, .sleep_sets = true});
+  EXPECT_TRUE(reduced.violation_found)
+      << "sleep sets pruned the planted ABA bug (unsound reduction)";
+  EXPECT_LE(reduced.trials, full.trials);
 }
 
 // The identical scenario on Figure 4 must be violation-free across ALL
@@ -162,14 +216,118 @@ TEST(Exploration, Fig4SurvivesAbaScenarioExhaustive) {
   const auto r = ScheduleExplorer::explore(make_trial, 100000);
   EXPECT_TRUE(r.exhausted);
   EXPECT_FALSE(r.violation_found)
-      << "Figure 4 corrupted under schedule, e.g. choices[0]="
-      << (r.violating_schedule.empty() ? 999 : r.violating_schedule[0]);
+      << "Figure 4 corrupted under schedule " << r.schedule_string();
+}
+
+// ---------------------------------------------------------------------
+// The acceptance configuration for the sleep-set reduction: THREE threads
+// of Figure 4 LL/SC increments (two contending on X, one on a disjoint Y).
+// The plain DFS drowns in the ~750k interleavings of the 15-step tree; the
+// sleep-set search proves the whole configuration violation-free.
+// ---------------------------------------------------------------------
+ScheduleExplorer::Trial make_fig4_three_thread_trial() {
+  using L = LlscFromCas<16>;
+
+  struct Shared {
+    L::Var x{0};
+    L::Var y{0};
+    std::uint64_t succ[3] = {0, 0, 0};
+  };
+  auto sh = std::make_shared<Shared>();
+  ScheduleExplorer::Trial trial;
+  for (int t = 0; t < 2; ++t) {
+    trial.bodies.push_back([sh, t] {
+      for (int i = 0; i < 2; ++i) {
+        L::Keep keep;
+        const std::uint64_t v = L::ll(sh->x, keep);
+        sh->succ[t] += L::sc(sh->x, keep, (v + 1) & 0xffff);
+      }
+    });
+  }
+  trial.bodies.push_back([sh] {
+    for (int i = 0; i < 2; ++i) {
+      L::Keep keep;
+      const std::uint64_t v = L::ll(sh->y, keep);
+      sh->succ[2] += L::sc(sh->y, keep, (v + 1) & 0xffff);
+    }
+  });
+  trial.check = [sh] {
+    return sh->x.read() == sh->succ[0] + sh->succ[1] &&
+           sh->y.read() == sh->succ[2];
+  };
+  return trial;
+}
+
+TEST(Exploration, SleepSetsExhaustThreeThreadFig4) {
+  // The seed DFS could not finish this configuration...
+  const auto plain = ScheduleExplorer::explore(
+      make_fig4_three_thread_trial, ExploreOptions{.max_trials = 3000});
+  EXPECT_FALSE(plain.exhausted)
+      << "plain DFS finished in " << plain.trials
+      << " trials; configuration too small to demonstrate reduction";
+  EXPECT_FALSE(plain.violation_found) << plain.schedule_string();
+
+  // ...the sleep-set reduced DFS covers it completely.
+  const auto dpor = ScheduleExplorer::explore(
+      make_fig4_three_thread_trial,
+      ExploreOptions{.max_trials = 100000, .sleep_sets = true});
+  EXPECT_TRUE(dpor.exhausted) << "trials=" << dpor.trials;
+  EXPECT_FALSE(dpor.violation_found) << dpor.schedule_string();
+  EXPECT_GT(dpor.sleep_pruned, 0u);
+}
+
+// Same acceptance shape on Figure 5 (RLL/RSC-backed): the SC retry loop
+// makes the tree irregular, but with declared footprints the reduced
+// search still exhausts it.
+TEST(Exploration, SleepSetsExhaustThreeThreadFig5) {
+  using L = LlscFromRllRsc<16>;
+
+  auto make_trial = [] {
+    struct Shared {
+      L::Var x{0};
+      L::Var y{0};
+      Processor procs[3];  // fault-free: RSC steps have declared footprints
+      std::uint64_t succ[3] = {0, 0, 0};
+    };
+    auto sh = std::make_shared<Shared>();
+    ScheduleExplorer::Trial trial;
+    for (int t = 0; t < 2; ++t) {
+      trial.bodies.push_back([sh, t] {
+        L::Keep keep;
+        const std::uint64_t v = L::ll(sh->x, keep);
+        sh->succ[t] += L::sc(sh->procs[t], sh->x, keep, (v + 1) & 0xffff);
+      });
+    }
+    trial.bodies.push_back([sh] {
+      for (int i = 0; i < 2; ++i) {
+        L::Keep keep;
+        const std::uint64_t v = L::ll(sh->y, keep);
+        sh->succ[2] += L::sc(sh->procs[2], sh->y, keep, (v + 1) & 0xffff);
+      }
+    });
+    trial.check = [sh] {
+      return sh->x.read() == sh->succ[0] + sh->succ[1] &&
+             sh->y.read() == sh->succ[2];
+    };
+    return trial;
+  };
+
+  const auto plain =
+      ScheduleExplorer::explore(make_trial, ExploreOptions{.max_trials = 3000});
+  EXPECT_FALSE(plain.exhausted) << "trials=" << plain.trials;
+
+  const auto dpor = ScheduleExplorer::explore(
+      make_trial, ExploreOptions{.max_trials = 100000, .sleep_sets = true});
+  EXPECT_TRUE(dpor.exhausted) << "trials=" << dpor.trials;
+  EXPECT_FALSE(dpor.violation_found) << dpor.schedule_string();
 }
 
 // ---------------------------------------------------------------------
 // Figure 7 (bounded tags): exhaustive two-process exploration, checking
 // the counter invariant AND the bounded-tag range invariant after every
-// schedule.
+// schedule. The finer-grained annotated yield points enlarge the tree, so
+// the sleep-set reduction is what keeps this exhaustive; contexts are
+// created in make_trial (not in the bodies) to keep prologues private.
 // ---------------------------------------------------------------------
 TEST(Exploration, Fig7CounterExhaustive) {
   using B = BoundedLlsc<>;
@@ -178,33 +336,39 @@ TEST(Exploration, Fig7CounterExhaustive) {
     struct Shared {
       B s{2, 1};
       B::Var var;
-      std::uint64_t successes = 0;
+      std::vector<B::ThreadCtx> ctxs;
+      std::uint64_t successes[2] = {0, 0};
     };
     auto sh = std::make_shared<Shared>();
     sh->s.init_var(sh->var, 0);
+    sh->ctxs.reserve(2);
+    sh->ctxs.push_back(sh->s.make_ctx());
+    sh->ctxs.push_back(sh->s.make_ctx());
 
     ScheduleExplorer::Trial trial;
     for (int t = 0; t < 2; ++t) {
-      trial.bodies.push_back([sh] {
-        auto ctx = sh->s.make_ctx();
+      trial.bodies.push_back([sh, t] {
         for (int i = 0; i < 2; ++i) {
           B::Keep keep;
-          const std::uint64_t v = sh->s.ll(ctx, sh->var, keep);
-          sh->successes += sh->s.sc(ctx, sh->var, keep, (v + 1) & 0xffff);
+          const std::uint64_t v = sh->s.ll(sh->ctxs[t], sh->var, keep);
+          sh->successes[t] +=
+              sh->s.sc(sh->ctxs[t], sh->var, keep, (v + 1) & 0xffff);
         }
       });
     }
     trial.check = [sh] {
       const auto w = sh->s.raw_word(sh->var);
-      return sh->s.read(sh->var) == sh->successes && w.tag() <= 2 * 2 * 1 &&
-             w.cnt() <= 2 * 1;
+      return sh->s.read(sh->var) ==
+                 sh->successes[0] + sh->successes[1] &&
+             w.tag() <= 2 * 2 * 1 && w.cnt() <= 2 * 1;
     };
     return trial;
   };
 
-  const auto r = ScheduleExplorer::explore(make_trial, 200000);
+  const auto r = ScheduleExplorer::explore(
+      make_trial, ExploreOptions{.max_trials = 200000, .sleep_sets = true});
   EXPECT_TRUE(r.exhausted) << "trials=" << r.trials;
-  EXPECT_FALSE(r.violation_found);
+  EXPECT_FALSE(r.violation_found) << r.schedule_string();
 }
 
 // ---------------------------------------------------------------------
@@ -255,10 +419,30 @@ TEST(Exploration, Fig6WideNoTearing) {
     return trial;
   };
 
-  const auto r = ScheduleExplorer::explore(make_trial3, 30000);
+  const auto r = ScheduleExplorer::explore(make_trial3, 15000);
   EXPECT_FALSE(r.violation_found)
-      << "torn or inconsistent wide value under exploration";
+      << "torn or inconsistent wide value under schedule "
+      << r.schedule_string();
   EXPECT_GT(r.trials, 100u);
+}
+
+// ---------------------------------------------------------------------
+// PCT smoke: a short randomized-priority batch on the 3-thread Figure 4
+// configuration. Small enough for the ThreadSanitizer preset (ctest
+// --preset tsan-smoke filters on "PctSmoke"), where each serialized run
+// still exercises the real cross-thread handoff machinery.
+// ---------------------------------------------------------------------
+TEST(Exploration, PctSmokeFig4ThreeThreads) {
+  const testing::PctOptions opts{
+      .runs = scaled_budget(60),
+      .depth = 3,
+      .change_range = 48,
+      .seed = base_seed() + 7,
+  };
+  const auto r =
+      ScheduleExplorer::pct_explore(make_fig4_three_thread_trial, opts);
+  EXPECT_FALSE(r.violation_found) << r.schedule_string();
+  EXPECT_EQ(r.trials, opts.runs);
 }
 
 }  // namespace

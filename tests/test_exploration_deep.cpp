@@ -1,0 +1,427 @@
+// Deep exploration shard (ctest label "explore"): PCT randomized schedule
+// search over configurations whose trees the DFS budget cannot cover —
+// 3-thread bug hunting, wide (Figure 6) linearizability windows, and
+// fault-injected Figure 5 runs — all with deterministically replayable
+// schedule strings in every failure report.
+//
+// Budgets scale with MOIR_EXPLORE_SCALE and reseed with MOIR_SEED, so a
+// nightly shard can multiply coverage without recompiling.
+#include "sim/explore.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "core/bounded_llsc.hpp"
+#include "core/llsc_composed.hpp"
+#include "core/llsc_from_rllrsc.hpp"
+#include "core/wide_llsc.hpp"
+#include "nonblocking/stm.hpp"
+#include "platform/fault.hpp"
+#include "sim/schedule.hpp"
+#include "util/env.hpp"
+#include "verify/linearizability.hpp"
+#include "verify/spec.hpp"
+
+namespace moir {
+namespace {
+
+using testing::ControlledScheduler;
+using testing::PctOptions;
+using testing::RunnableThread;
+using testing::Schedule;
+using testing::ScheduleExplorer;
+
+// Move `arg` units from cell 0 to cell 1 of the set (if funds allow).
+void tx_probe_transfer(const std::uint64_t* olds, std::uint64_t* news,
+                       unsigned, std::uint64_t arg) {
+  const std::uint64_t amount = olds[0] >= arg ? arg : 0;
+  news[0] = olds[0] - amount;
+  news[1] = olds[1] + amount;
+}
+
+// ---------------------------------------------------------------------
+// Negative control: the two-tag composition's wraparound hazard, planted.
+//
+// LlscComposed<16, 2> shrinks the outer tag to 2 bits, so FOUR intervening
+// successful SCs return the {outer tag, value} pair to the exact word the
+// victim's LL snapshotted — the victim's stale SC then succeeds, violating
+// LL/SC semantics (an SC must fail if any SC succeeded since the LL). The
+// bug needs one preemption of the victim plus two adversaries running to
+// completion: depth-2 territory PCT is built for, far beyond the DFS
+// budget's horizon on this tree. A generation counter timestamps the
+// victim's LL and SC so check() can tell a legal success (no intervening
+// SC) from the wraparound.
+// ---------------------------------------------------------------------
+template <typename C>
+ScheduleExplorer::Trial make_composed_wrap_trial() {
+  struct Shared {
+    typename C::Var var{5};
+    Processor procs[3];  // fault-free
+    std::atomic<unsigned> gen{0};  // successful adversary SCs so far
+    unsigned gen_at_ll = 0;
+    unsigned gen_at_sc = 0;
+    bool victim_ok = false;
+  };
+  auto sh = std::make_shared<Shared>();
+
+  ScheduleExplorer::Trial trial;
+  trial.bodies.push_back([sh] {
+    typename C::Keep keep;
+    const std::uint64_t v = C::ll(sh->var, keep);
+    sh->gen_at_ll = sh->gen.load(std::memory_order_relaxed);
+    sh->victim_ok = C::sc(sh->procs[0], sh->var, keep, v);
+    sh->gen_at_sc = sh->gen.load(std::memory_order_relaxed);
+  });
+  for (int t = 1; t <= 2; ++t) {
+    trial.bodies.push_back([sh, t] {
+      for (int j = 0; j < 2; ++j) {
+        typename C::Keep keep;
+        const std::uint64_t v = C::ll(sh->var, keep);
+        if (C::sc(sh->procs[t], sh->var, keep, v)) {
+          sh->gen.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  trial.check = [sh] {
+    // Stale success: the victim's SC succeeded although at least one full
+    // outer-tag cycle (4 SCs) of other processes landed in between.
+    return !(sh->victim_ok && sh->gen_at_sc - sh->gen_at_ll >= 4);
+  };
+  return trial;
+}
+
+TEST(ExplorationDeep, PctFindsComposedTagWraparound) {
+  using C = LlscComposed<16, 2>;  // 2-bit outer tag: wraps every 4 SCs
+  const PctOptions opts{
+      .runs = scaled_budget(4000),
+      .depth = 2,
+      .change_range = 32,
+      .seed = base_seed(),
+  };
+  const auto r =
+      ScheduleExplorer::pct_explore(make_composed_wrap_trial<C>, opts);
+  ASSERT_TRUE(r.violation_found)
+      << "PCT missed the planted outer-tag wraparound in " << r.trials
+      << " runs (negative control failed)";
+
+  // The failure report is a schedule string; replaying it reproduces the
+  // wraparound deterministically.
+  const auto parsed = Schedule::parse(r.schedule_string());
+  ASSERT_TRUE(parsed.has_value()) << r.schedule_string();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(
+        ScheduleExplorer::replay(make_composed_wrap_trial<C>, *parsed))
+        << "schedule " << r.schedule_string() << " did not replay";
+  }
+}
+
+// The identical trial on the default composition (24-bit outer tag) cannot
+// wrap within 4 SCs: the same budget must find nothing.
+TEST(ExplorationDeep, PctCleanOnWideOuterTag) {
+  using C = LlscComposed<16>;
+  const PctOptions opts{
+      .runs = scaled_budget(4000),
+      .depth = 2,
+      .change_range = 32,
+      .seed = base_seed(),
+  };
+  const auto r =
+      ScheduleExplorer::pct_explore(make_composed_wrap_trial<C>, opts);
+  EXPECT_FALSE(r.violation_found)
+      << "24-bit outer tag wrapped?! schedule " << r.schedule_string();
+}
+
+// ---------------------------------------------------------------------
+// Figure 6, W=3, three writers under PCT; every run's history is checked
+// for linearizability against the Figure 2 LL/SC register spec (chunk 0
+// stands in for the value; chunks 1..2 must track it exactly, checked as
+// tearing). WLL's weakened failure mode — returning the winner's pid
+// instead of a value — records no operation, which is trivially allowed.
+// ---------------------------------------------------------------------
+TEST(ExplorationDeep, PctWideW3Linearizable) {
+  using W = WideLlsc<32>;
+  constexpr unsigned kW = 3;
+  constexpr unsigned kWorkers = 3;
+
+  auto make_trial = [] {
+    struct Shared {
+      W dom{kWorkers + 1, kW};  // +1 process for the final check read
+      W::Var var;
+      HistoryRecorder rec{kWorkers + 1};
+      bool torn = false;
+    };
+    auto sh = std::make_shared<Shared>();
+    const std::vector<std::uint64_t> init{1, 101, 201};
+    sh->dom.init_var(sh->var, init);
+
+    ScheduleExplorer::Trial trial;
+    for (unsigned t = 0; t < kWorkers; ++t) {
+      trial.bodies.push_back([sh, t] {
+        auto ctx = sh->dom.make_ctx();
+        std::vector<std::uint64_t> buf(kW);
+        for (unsigned iter = 0; iter < 2; ++iter) {
+          W::Keep keep;
+          const auto inv_ll = sh->rec.now();
+          if (!sh->dom.wll(ctx, sh->var, keep, buf).success) continue;
+          sh->rec.add(t, t, OpKind::kLl, 0, buf[0], inv_ll);
+          if (buf[1] != buf[0] + 100 || buf[2] != buf[0] + 200) {
+            sh->torn = true;
+            return;
+          }
+          const std::uint64_t c0 = 10 + 10 * t + iter;
+          const std::vector<std::uint64_t> next{c0, c0 + 100, c0 + 200};
+          const auto inv_sc = sh->rec.now();
+          const bool ok = sh->dom.sc(ctx, sh->var, keep, next);
+          sh->rec.add(t, t, OpKind::kSc, c0, ok, inv_sc);
+        }
+      });
+    }
+    trial.check = [sh] {
+      if (sh->torn) return false;
+      auto ctx = sh->dom.make_ctx();
+      std::vector<std::uint64_t> fin(kW);
+      const auto inv = sh->rec.now();
+      sh->dom.read(ctx, sh->var, fin);
+      if (fin[1] != fin[0] + 100 || fin[2] != fin[0] + 200) return false;
+      sh->rec.add(kWorkers, kWorkers, OpKind::kRead, 0, fin[0], inv);
+      LinearizabilityChecker<LlscRegisterSpec> checker;
+      return checker.check(sh->rec.collect(),
+                           LlscRegisterSpec::State{1, 0});
+    };
+    return trial;
+  };
+
+  const PctOptions opts{
+      .runs = scaled_budget(300),
+      .depth = 3,
+      .change_range = 128,
+      .seed = base_seed() + 1,
+  };
+  const auto r = ScheduleExplorer::pct_explore(make_trial, opts);
+  EXPECT_FALSE(r.violation_found)
+      << "non-linearizable or torn wide history under schedule "
+      << r.schedule_string();
+  EXPECT_EQ(r.trials, opts.runs);
+}
+
+// ---------------------------------------------------------------------
+// Spurious RSC failures x Figure 5's single-reservation SC path. The
+// injector's forced mode fails the first two RSC attempts (shared counter:
+// deterministic under a fixed schedule). Every schedule must (a) keep the
+// counter invariant — Figure 5 retries through spurious failures, so they
+// are invisible to callers, (b) consume exactly the two forced failures,
+// and (c) never trip the no-reservation path. A recorded PCT schedule then
+// replays to the identical outcome, spurious failures included.
+// ---------------------------------------------------------------------
+TEST(ExplorationDeep, PctFig5SpuriousRscReplayDeterminism) {
+  using L = LlscFromRllRsc<16>;
+
+  struct Shared {
+    FaultInjector faults;
+    L::Var x{0};
+    std::vector<Processor> procs;
+    std::uint64_t succ[2] = {0, 0};
+  };
+  // `latest` lets the test inspect the Shared of the most recent run.
+  auto latest = std::make_shared<std::shared_ptr<Shared>>();
+
+  auto make_trial = [latest] {
+    auto sh = std::make_shared<Shared>();
+    *latest = sh;
+    sh->faults.force_failures(2);
+    sh->procs.emplace_back(&sh->faults);
+    sh->procs.emplace_back(&sh->faults);
+
+    ScheduleExplorer::Trial trial;
+    for (int t = 0; t < 2; ++t) {
+      trial.bodies.push_back([sh, t] {
+        for (int i = 0; i < 2; ++i) {
+          L::Keep keep;
+          const std::uint64_t v = L::ll(sh->x, keep);
+          sh->succ[t] += L::sc(sh->procs[t], sh->x, keep, (v + 1) & 0xffff);
+        }
+      });
+    }
+    trial.check = [sh] {
+      std::uint64_t spurious = 0;
+      for (const Processor& p : sh->procs) {
+        // SC's exit through the RLL-mismatch path may leave a reservation
+        // set (like hardware leaves the LLBit); the next RLL replaces it.
+        // What must never happen is an RSC with no matching reservation.
+        if (p.stats().no_reservation_failures != 0) return false;
+        spurious += p.stats().spurious_failures;
+      }
+      return sh->x.read() == sh->succ[0] + sh->succ[1] &&
+             spurious == 2 && sh->faults.injected_count() == 2;
+    };
+    return trial;
+  };
+
+  // (a)-(c) over a randomized schedule batch.
+  const PctOptions opts{
+      .runs = scaled_budget(500),
+      .depth = 3,
+      .change_range = 48,
+      .seed = base_seed() + 2,
+  };
+  const auto r = ScheduleExplorer::pct_explore(make_trial, opts);
+  EXPECT_FALSE(r.violation_found)
+      << "forced spurious RSC failures broke Figure 5 under schedule "
+      << r.schedule_string();
+
+  // Replay determinism: record one full PCT schedule, then re-run it twice
+  // and compare the complete observable outcome.
+  using Outcome = std::tuple<std::uint64_t, std::uint64_t, std::uint64_t,
+                             std::uint64_t, std::uint64_t>;
+  auto outcome_of = [&](const Shared& sh) {
+    return Outcome{sh.x.read(), sh.succ[0], sh.succ[1],
+                   sh.faults.injected_count(),
+                   sh.procs[0].stats().attempts + sh.procs[1].stats().attempts};
+  };
+
+  for (std::uint64_t s = 0; s < 5; ++s) {
+    auto trial = make_trial();
+    ScheduleExplorer::PctScheduler pct(3, 48, base_seed() + 100 + s);
+    Schedule taken;
+    ControlledScheduler::run(
+        std::move(trial.bodies),
+        [&](const std::vector<RunnableThread>& runnable, std::size_t d) {
+          const unsigned choice = pct.pick(runnable, d);
+          taken.threads.push_back(choice);
+          return choice;
+        });
+    EXPECT_TRUE(trial.check()) << "schedule " << taken.str();
+    const Outcome first = outcome_of(**latest);
+
+    const auto parsed = Schedule::parse(taken.str());
+    ASSERT_TRUE(parsed.has_value());
+    for (int rep = 0; rep < 2; ++rep) {
+      EXPECT_TRUE(ScheduleExplorer::replay(make_trial, *parsed));
+      EXPECT_EQ(outcome_of(**latest), first)
+          << "schedule " << taken.str() << " replayed to a different outcome";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Figure 7 at N=3, k=1 — one process more than the tier-1 exhaustive run —
+// under PCT: counter invariant plus the bounded-tag range invariants
+// (tag <= 2Nk, cnt <= Nk) on every run's final word.
+// ---------------------------------------------------------------------
+TEST(ExplorationDeep, PctFig7ThreeProcessInvariants) {
+  using B = BoundedLlsc<>;
+
+  auto make_trial = [] {
+    struct Shared {
+      B s{3, 1};
+      B::Var var;
+      std::vector<B::ThreadCtx> ctxs;
+      std::uint64_t successes[3] = {0, 0, 0};
+    };
+    auto sh = std::make_shared<Shared>();
+    sh->s.init_var(sh->var, 0);
+    sh->ctxs.reserve(3);
+    for (int t = 0; t < 3; ++t) sh->ctxs.push_back(sh->s.make_ctx());
+
+    ScheduleExplorer::Trial trial;
+    for (int t = 0; t < 3; ++t) {
+      trial.bodies.push_back([sh, t] {
+        for (int i = 0; i < 2; ++i) {
+          B::Keep keep;
+          const std::uint64_t v = sh->s.ll(sh->ctxs[t], sh->var, keep);
+          sh->successes[t] +=
+              sh->s.sc(sh->ctxs[t], sh->var, keep, (v + 1) & 0xffff);
+        }
+      });
+    }
+    trial.check = [sh] {
+      const auto w = sh->s.raw_word(sh->var);
+      return sh->s.read(sh->var) == sh->successes[0] + sh->successes[1] +
+                                        sh->successes[2] &&
+             w.tag() <= 2 * 3 * 1 && w.cnt() <= 3 * 1;
+    };
+    return trial;
+  };
+
+  const PctOptions opts{
+      .runs = scaled_budget(500),
+      .depth = 3,
+      .change_range = 64,
+      .seed = base_seed() + 3,
+  };
+  const auto r = ScheduleExplorer::pct_explore(make_trial, opts);
+  EXPECT_FALSE(r.violation_found)
+      << "Figure 7 invariant broken at N=3 under schedule "
+      << r.schedule_string();
+}
+
+// ---------------------------------------------------------------------
+// Regression: the STM's stale write-back race. A transaction owner parked
+// in its acquire loop between the status check and the lock SC could — once
+// helpers finished its incarnation and unrelated transactions cycled the
+// cell back to the claimed value — re-lock the cell for the already
+// committed incarnation and re-apply its write-back over newer state
+// (value ABA defeats the claim check; the cell tag only guards changes
+// since the thread's own LL). This exact trial shape surfaced the bug in
+// under 100 depth-2 PCT runs before the pre-SC status revalidation in
+// run_phases; the budget below leaves a wide margin for catching a
+// reintroduction.
+// ---------------------------------------------------------------------
+TEST(ExplorationDeep, PctStmRecyclingConservesMoney) {
+  auto make_trial = [] {
+    struct Shared {
+      Stm stm{4, 3};
+      std::vector<Stm::ThreadCtx> ctxs;
+    };
+    auto sh = std::make_shared<Shared>();
+    for (int c = 0; c < 3; ++c) sh->stm.set_initial(c, 100);
+    for (int t = 0; t < 4; ++t) sh->ctxs.push_back(sh->stm.make_ctx());
+
+    // Two transactors whose second transaction reuses (recycles) their
+    // descriptor on cells the other touches, plus a reader exercising the
+    // help-on-read path.
+    ScheduleExplorer::Trial trial;
+    trial.bodies.push_back([sh] {
+      const std::uint32_t ab[] = {0, 1};
+      const std::uint32_t bc[] = {1, 2};
+      sh->stm.transact(sh->ctxs[0], ab, tx_probe_transfer, 3);
+      sh->stm.transact(sh->ctxs[0], bc, tx_probe_transfer, 5);
+    });
+    trial.bodies.push_back([sh] {
+      const std::uint32_t ac[] = {0, 2};
+      const std::uint32_t ab[] = {0, 1};
+      sh->stm.transact(sh->ctxs[1], ac, tx_probe_transfer, 7);
+      sh->stm.transact(sh->ctxs[1], ab, tx_probe_transfer, 2);
+    });
+    trial.bodies.push_back([sh] {
+      (void)sh->stm.read(sh->ctxs[2], 0);
+      (void)sh->stm.read(sh->ctxs[2], 1);
+    });
+    trial.check = [sh] {
+      std::uint64_t total = 0;
+      for (int c = 0; c < 3; ++c) total += sh->stm.read(sh->ctxs[3], c);
+      return total == 300 && !sh->stm.any_cell_locked();
+    };
+    return trial;
+  };
+
+  const PctOptions opts{
+      .runs = scaled_budget(2000),
+      .depth = 2,
+      .change_range = 256,
+      .seed = base_seed() + 4,
+  };
+  const auto r = ScheduleExplorer::pct_explore(make_trial, opts);
+  EXPECT_FALSE(r.violation_found)
+      << "STM created or destroyed money under schedule "
+      << r.schedule_string();
+  EXPECT_EQ(r.trials, opts.runs);
+}
+
+}  // namespace
+}  // namespace moir
