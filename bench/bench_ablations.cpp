@@ -138,8 +138,8 @@ void BM_AblationWideTag48(benchmark::State& state) {
 BENCHMARK(BM_AblationWideTag48);
 
 // --- D: one consumer, five substrates ------------------------------------
-void substrate_tax_table() {
-  moir::bench::print_header(
+void substrate_tax_table(moir::bench::Harness& h) {
+  h.header(
       "E11 table: substrate tax on a Treiber stack (4 threads, Mops/s)",
       "design-choice ablations: what each emulation layer costs a consumer");
 
@@ -147,53 +147,59 @@ void substrate_tax_table() {
   moir::Table t("stack throughput by substrate");
   t.columns({"substrate", "Mops/s"});
 
-  auto run_stack = [&](auto& s) {
+  auto run_stack = [&](auto& s, const char* run_name) {
     auto init_ctx = s.make_ctx();
     moir::TreiberStack<std::remove_reference_t<decltype(s)>> st(s, 256,
                                                                 init_ctx);
-    const double secs = moir::bench::timed_threads(4, [&](std::size_t tid) {
-      auto ctx = s.make_ctx();
-      moir::Xoshiro256 rng(moir::bench::thread_seed(tid));
-      for (std::uint64_t i = 0; i < kOps; ++i) {
-        if (rng.chance(1, 2)) {
-          st.push(ctx, i & 0xfff);
-        } else {
-          st.pop(ctx);
-        }
-      }
-    });
-    return moir::bench::mops(secs, 4 * kOps);
+    std::vector<decltype(s.make_ctx())> ctxs;
+    ctxs.reserve(4);
+    for (unsigned i = 0; i < 4; ++i) ctxs.push_back(s.make_ctx());
+    std::vector<moir::Xoshiro256> rngs;
+    for (unsigned i = 0; i < 4; ++i) {
+      rngs.emplace_back(moir::bench::thread_seed(i));
+    }
+    const auto& run =
+        h.run_ops(run_name, 4, kOps, [&](std::size_t tid, std::uint64_t i) {
+          if (rngs[tid].chance(1, 2)) {
+            st.push(ctxs[tid], i & 0xfff);
+          } else {
+            st.pop(ctxs[tid]);
+          }
+        });
+    return run.mops_s();
   };
 
   {
     moir::CasBackedLlsc<16> s;
-    t.row({s.name(), moir::Table::num(run_stack(s), 2)});
+    t.row({s.name(), moir::Table::num(run_stack(s, "stack/fig4"), 2)});
   }
   {
     moir::RllBackedLlsc<16> s;
-    t.row({s.name(), moir::Table::num(run_stack(s), 2)});
+    t.row({s.name(), moir::Table::num(run_stack(s, "stack/fig5"), 2)});
   }
   {
     moir::ComposedBackedLlsc<16> s;
-    t.row({s.name(), moir::Table::num(run_stack(s), 2)});
+    t.row({s.name(), moir::Table::num(run_stack(s, "stack/composed"), 2)});
   }
   {
     moir::BoundedLlsc<> s(6, 2);
-    t.row({s.name(), moir::Table::num(run_stack(s), 2)});
+    t.row({s.name(), moir::Table::num(run_stack(s, "stack/fig7"), 2)});
   }
   {
     moir::LockBackedLlsc<16> s;
-    t.row({s.name(), moir::Table::num(run_stack(s), 2)});
+    t.row({s.name(), moir::Table::num(run_stack(s, "stack/lock"), 2)});
   }
-  t.print();
-  moir::bench::maybe_print_csv(t);
+  h.table(t);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  substrate_tax_table();
-  return 0;
+  moir::bench::Harness h(argc, argv, "bench_ablations");
+  if (h.micro()) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  substrate_tax_table(h);
+  return h.finish();
 }

@@ -11,7 +11,7 @@
 // much cross-variable interference their sharing actually causes.
 #include <benchmark/benchmark.h>
 
-#include <atomic>
+#include <cstdio>
 #include <thread>
 #include <vector>
 
@@ -28,62 +28,70 @@ struct Result {
   double retries_per_op;
 };
 
+struct alignas(64) PaddedCount {
+  std::uint64_t v = 0;
+};
+
 // `window` adds computation (and an occasional yield, standing in for the
 // preemption a multicore machine would give for free) between LL and SC,
 // widening the vulnerability window so conflicts become visible on a
 // single-core host.
-Result run_fig4(unsigned threads, bool disjoint, std::uint64_t ops_each,
-                unsigned window) {
+Result run_fig4(moir::bench::Harness& h, unsigned threads, bool disjoint,
+                std::uint64_t ops_each, unsigned window) {
   std::vector<L::Var> vars(disjoint ? threads : 1);
-  std::atomic<std::uint64_t> retries{0};
-  const double secs = moir::bench::timed_threads(threads, [&](std::size_t tid) {
-    L::Var& var = vars[disjoint ? tid : 0];
-    std::uint64_t my_retries = 0;
-    std::uint64_t sink = 0;
-    for (std::uint64_t i = 0; i < ops_each; ++i) {
-      for (;;) {
-        L::Keep keep;
-        const std::uint64_t v = L::ll(var, keep);
-        for (unsigned s = 0; s < window; ++s) sink += s * v;
-        if (window != 0 && i % 64 == 0) std::this_thread::yield();
-        if (L::sc(var, keep, (v + 1) & 0xffff)) break;
-        ++my_retries;
-      }
-    }
-    benchmark::DoNotOptimize(sink);
-    retries.fetch_add(my_retries);
-  });
-  const std::uint64_t total = threads * ops_each;
-  return {moir::bench::ns_per_op(secs, total),
-          static_cast<double>(retries.load()) / total};
+  std::vector<PaddedCount> retries(threads);
+  std::vector<PaddedCount> sinks(threads);
+  char name[64];
+  std::snprintf(name, sizeof name, "fig4_%s/t%u/w%u",
+                disjoint ? "disjoint" : "shared", threads, window);
+  const auto& run = h.run_ops(
+      name, threads, ops_each, [&](std::size_t tid, std::uint64_t i) {
+        L::Var& var = vars[disjoint ? tid : 0];
+        for (;;) {
+          L::Keep keep;
+          const std::uint64_t v = L::ll(var, keep);
+          for (unsigned s = 0; s < window; ++s) sinks[tid].v += s * v;
+          if (window != 0 && i % 64 == 0) std::this_thread::yield();
+          if (L::sc(var, keep, (v + 1) & 0xffff)) break;
+          ++retries[tid].v;
+        }
+      });
+  std::uint64_t total_retries = 0;
+  for (const auto& r : retries) total_retries += r.v;
+  benchmark::DoNotOptimize(sinks.data());
+  return {run.ns_op(), static_cast<double>(total_retries) / run.ops};
 }
 
-Result run_fig7(unsigned threads, bool disjoint, std::uint64_t ops_each) {
+Result run_fig7(moir::bench::Harness& h, unsigned threads, bool disjoint,
+                std::uint64_t ops_each) {
   moir::BoundedLlsc<> dom(threads, 1);
   std::vector<moir::BoundedLlsc<>::Var> vars(disjoint ? threads : 1);
   for (auto& v : vars) dom.init_var(v, 0);
-  std::atomic<std::uint64_t> retries{0};
-  const double secs = moir::bench::timed_threads(threads, [&](std::size_t tid) {
-    auto ctx = dom.make_ctx();
-    auto& var = vars[disjoint ? tid : 0];
-    std::uint64_t my_retries = 0;
-    for (std::uint64_t i = 0; i < ops_each; ++i) {
-      for (;;) {
-        moir::BoundedLlsc<>::Keep keep;
-        const std::uint64_t v = dom.ll(ctx, var, keep);
-        if (dom.sc(ctx, var, keep, (v + 1) & 0xffff)) break;
-        ++my_retries;
-      }
-    }
-    retries.fetch_add(my_retries);
-  });
-  const std::uint64_t total = threads * ops_each;
-  return {moir::bench::ns_per_op(secs, total),
-          static_cast<double>(retries.load()) / total};
+  std::vector<decltype(dom.make_ctx())> ctxs;
+  ctxs.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) ctxs.push_back(dom.make_ctx());
+  std::vector<PaddedCount> retries(threads);
+  char name[64];
+  std::snprintf(name, sizeof name, "fig7_%s/t%u",
+                disjoint ? "disjoint" : "shared", threads);
+  const auto& run = h.run_ops(
+      name, threads, ops_each, [&](std::size_t tid, std::uint64_t) {
+        auto& ctx = ctxs[tid];
+        auto& var = vars[disjoint ? tid : 0];
+        for (;;) {
+          moir::BoundedLlsc<>::Keep keep;
+          const std::uint64_t v = dom.ll(ctx, var, keep);
+          if (dom.sc(ctx, var, keep, (v + 1) & 0xffff)) break;
+          ++retries[tid].v;
+        }
+      });
+  std::uint64_t total_retries = 0;
+  for (const auto& r : retries) total_retries += r.v;
+  return {run.ns_op(), static_cast<double>(total_retries) / run.ops};
 }
 
-void tables() {
-  moir::bench::print_header(
+void tables(moir::bench::Harness& h) {
+  h.header(
       "E8: disjoint-access parallelism — conflict retries, shared vs "
       "disjoint variables",
       "Figures 3-5 are disjoint-access parallel (no contention introduced); "
@@ -96,8 +104,8 @@ void tables() {
              "conflict_retries/op"});
   for (const unsigned window : {0u, 200u}) {
     for (const bool disjoint : {false, true}) {
-      const Result r4 = run_fig4(4, disjoint, window == 0 ? kOps : kOps / 10,
-                                 window);
+      const Result r4 = run_fig4(h, 4, disjoint,
+                                 window == 0 ? kOps : kOps / 10, window);
       t.row({"fig4 (CAS-backed)", window == 0 ? "tight" : "wide(+work)",
              disjoint ? "disjoint vars" : "one shared var",
              moir::Table::num(r4.ns_per_op, 1),
@@ -105,16 +113,15 @@ void tables() {
     }
   }
   for (const bool disjoint : {false, true}) {
-    const Result r7 = run_fig7(4, disjoint, kOps);
+    const Result r7 = run_fig7(h, 4, disjoint, kOps);
     t.row({"fig7 (bounded)", "tight",
            disjoint ? "disjoint vars" : "one shared var",
            moir::Table::num(r7.ns_per_op, 1),
            moir::Table::num(r7.retries_per_op, 4)});
   }
-  t.print();
-  moir::bench::maybe_print_csv(t);
+  h.table(t);
 
-  std::printf(
+  h.printf(
       "\nreading: retries/op ~0 on disjoint variables = the implementation "
       "adds no contention of its own (disjoint-access parallelism).\n"
       "Figure 7's announcement array is shared, yet disjoint-variable "
@@ -125,8 +132,11 @@ void tables() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  tables();
-  return 0;
+  moir::bench::Harness h(argc, argv, "bench_disjoint");
+  if (h.micro()) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  tables(h);
+  return h.finish();
 }

@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <vector>
 
 #include "bench/common.hpp"
 #include "core/cas_from_rllrsc.hpp"
@@ -92,8 +93,8 @@ void BM_RawRllRscWeak(benchmark::State& state) {
 }
 BENCHMARK(BM_RawRllRscWeak);
 
-void contention_table() {
-  moir::bench::print_header(
+void contention_table(moir::bench::Harness& h) {
+  h.header(
       "E1 table: concurrent increment-via-CAS, emulated vs native",
       "wait-free given finitely many spurious failures per op; constant "
       "time after the last spurious failure; zero space overhead");
@@ -107,40 +108,48 @@ void contention_table() {
       moir::FaultInjector faults;
       faults.set_spurious_probability(p);
       Cas::Var var(0);
-      std::atomic<std::uint64_t> attempts{0}, spurious{0};
-      const double secs = moir::bench::timed_threads(threads, [&](std::size_t) {
-        moir::Processor proc(&faults);
-        for (std::uint64_t i = 0; i < kOps; ++i) {
-          for (;;) {
-            const std::uint64_t v = Cas::read(var);
-            if (Cas::cas(proc, var, v, (v + 1) & 0xffff)) break;
-          }
-        }
-        attempts.fetch_add(proc.stats().attempts);
-        spurious.fetch_add(proc.stats().spurious_failures);
-      });
-      const std::uint64_t ops = threads * kOps;
+      std::vector<moir::Processor> procs;
+      procs.reserve(threads);
+      for (unsigned i = 0; i < threads; ++i) procs.emplace_back(&faults);
+      char run_name[64];
+      std::snprintf(run_name, sizeof run_name, "emulated_cas/t%u/p%g",
+                    threads, p);
+      const auto& run = h.run_ops(
+          run_name, threads, kOps, [&](std::size_t tid, std::uint64_t) {
+            moir::Processor& proc = procs[tid];
+            for (;;) {
+              const std::uint64_t v = Cas::read(var);
+              if (Cas::cas(proc, var, v, (v + 1) & 0xffff)) break;
+            }
+          });
+      std::uint64_t attempts = 0, spurious = 0;
+      for (const auto& proc : procs) {
+        attempts += proc.stats().attempts;
+        spurious += proc.stats().spurious_failures;
+      }
+      const std::uint64_t ops = run.ops;
       t.row({moir::Table::num(threads), moir::Table::num(p, 3),
-             moir::Table::num(moir::bench::ns_per_op(secs, ops), 1),
-             moir::Table::num(
-                 static_cast<double>(attempts.load() - ops) / ops, 4),
-             moir::Table::num(static_cast<double>(spurious.load()) / ops,
-                              4)});
+             moir::Table::num(run.ns_op(), 1),
+             moir::Table::num(static_cast<double>(attempts - ops) / ops, 4),
+             moir::Table::num(static_cast<double>(spurious) / ops, 4)});
     }
   }
-  t.print();
-  moir::bench::maybe_print_csv(t);
+  h.table(t);
 
-  std::printf("\nspace overhead: 0 words (Theorem 1) — sizeof(Var)=%zu == "
-              "sizeof(emulated word)=%zu\n",
-              sizeof(Cas::Var), sizeof(moir::RllWord));
+  h.metric("sizeof_var_bytes", static_cast<double>(sizeof(Cas::Var)));
+  h.printf("\nspace overhead: 0 words (Theorem 1) — sizeof(Var)=%zu == "
+           "sizeof(emulated word)=%zu\n",
+           sizeof(Cas::Var), sizeof(moir::RllWord));
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  contention_table();
-  return 0;
+  moir::bench::Harness h(argc, argv, "bench_fig3_cas");
+  if (h.micro()) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  contention_table(h);
+  return h.finish();
 }

@@ -90,68 +90,76 @@ void BM_LlScWithOpenSequences(benchmark::State& state) {
 }
 BENCHMARK(BM_LlScWithOpenSequences)->Arg(0)->Arg(8)->Arg(64)->Arg(512);
 
-void contention_table() {
-  moir::bench::print_header(
+void contention_table(moir::bench::Harness& h) {
+  h.header(
       "E2 table: LL;SC increment under contention (Figure 4 vs baselines)",
       "constant-time LL, VL, SC for small variables with no space overhead");
 
   moir::Table t("ns/op by substrate and thread count");
   t.columns({"threads", "fig4_llsc", "native_cas_loop", "lock_llsc"});
   const std::uint64_t kOps = moir::bench::scaled(200000);
-  for (unsigned threads : {1u, 2u, 4u}) {
+  for (unsigned threads : {1u, 2u, 4u, 8u}) {
     // Figure 4.
     L::Var var(0);
-    double fig4 = moir::bench::timed_threads(threads, [&](std::size_t) {
-      for (std::uint64_t i = 0; i < kOps; ++i) {
-        for (;;) {
-          L::Keep keep;
-          const std::uint64_t v = L::ll(var, keep);
-          if (L::sc(var, keep, (v + 1) & 0xffff)) break;
-        }
-      }
-    });
+    const auto& fig4 = h.run_ops(
+        "fig4_llsc/t" + std::to_string(threads), threads, kOps,
+        [&](std::size_t, std::uint64_t) {
+          for (;;) {
+            L::Keep keep;
+            const std::uint64_t v = L::ll(var, keep);
+            if (L::sc(var, keep, (v + 1) & 0xffff)) break;
+          }
+        });
     // Native CAS loop.
     std::atomic<std::uint64_t> nat{0};
-    double native = moir::bench::timed_threads(threads, [&](std::size_t) {
-      for (std::uint64_t i = 0; i < kOps; ++i) {
-        std::uint64_t v = nat.load();
-        while (!nat.compare_exchange_strong(v, (v + 1) & 0xffff)) {
-        }
-      }
-    });
-    // Lock-based LL/SC (footnote 1).
+    const auto& native = h.run_ops(
+        "native_cas_loop/t" + std::to_string(threads), threads, kOps,
+        [&](std::size_t, std::uint64_t) {
+          std::uint64_t v = nat.load();
+          while (!nat.compare_exchange_strong(v, (v + 1) & 0xffff)) {
+          }
+        });
+    // Lock-based LL/SC (footnote 1). Contexts are pre-created per thread:
+    // run_ops bodies are per-op, so make_ctx cannot live inside them.
     moir::LockBackedLlsc<16> lock_s;
     moir::LockBackedLlsc<16>::Var lock_var;
     lock_s.init_var(lock_var, 0);
-    double locked = moir::bench::timed_threads(threads, [&](std::size_t) {
-      auto ctx = lock_s.make_ctx();
-      for (std::uint64_t i = 0; i < kOps; ++i) {
-        for (;;) {
-          moir::LockBackedLlsc<16>::Keep keep;
-          const std::uint64_t v = lock_s.ll(ctx, lock_var, keep);
-          if (lock_s.sc(ctx, lock_var, keep, (v + 1) & 0xffff)) break;
-        }
-      }
-    });
-    const std::uint64_t ops = threads * kOps;
-    t.row({moir::Table::num(threads),
-           moir::Table::num(moir::bench::ns_per_op(fig4, ops), 1),
-           moir::Table::num(moir::bench::ns_per_op(native, ops), 1),
-           moir::Table::num(moir::bench::ns_per_op(locked, ops), 1)});
+    std::vector<decltype(lock_s.make_ctx())> lock_ctxs;
+    lock_ctxs.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i) {
+      lock_ctxs.push_back(lock_s.make_ctx());
+    }
+    const auto& locked = h.run_ops(
+        "lock_llsc/t" + std::to_string(threads), threads, kOps,
+        [&](std::size_t tid, std::uint64_t) {
+          for (;;) {
+            moir::LockBackedLlsc<16>::Keep keep;
+            const std::uint64_t v = lock_s.ll(lock_ctxs[tid], lock_var, keep);
+            if (lock_s.sc(lock_ctxs[tid], lock_var, keep, (v + 1) & 0xffff)) {
+              break;
+            }
+          }
+        });
+    t.row({moir::Table::num(threads), moir::Table::num(fig4.ns_op(), 1),
+           moir::Table::num(native.ns_op(), 1),
+           moir::Table::num(locked.ns_op(), 1)});
   }
-  t.print();
-  moir::bench::maybe_print_csv(t);
+  h.table(t);
 
-  std::printf("\nspace overhead: 0 words (Theorem 2) — sizeof(Var)=%zu == one "
-              "machine word\n",
-              sizeof(L::Var));
+  h.metric("sizeof_var_bytes", static_cast<double>(sizeof(L::Var)));
+  h.printf("\nspace overhead: 0 words (Theorem 2) — sizeof(Var)=%zu == one "
+           "machine word\n",
+           sizeof(L::Var));
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  contention_table();
-  return 0;
+  moir::bench::Harness h(argc, argv, "bench_fig4_llsc");
+  if (h.micro()) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  contention_table(h);
+  return h.finish();
 }

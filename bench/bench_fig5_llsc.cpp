@@ -53,8 +53,8 @@ void BM_LayeredLlSc(benchmark::State& state) {
 }
 BENCHMARK(BM_LayeredLlSc)->Arg(0)->Arg(10)->Arg(100);
 
-void tag_budget_table() {
-  moir::bench::print_header(
+void tag_budget_table(moir::bench::Harness& h) {
+  h.header(
       "E3 table: single-tag (Figure 5) vs two-tag (Figure 4 over Figure 3)",
       "a direct implementation avoids doubling tags, which would "
       "'substantially reduce the time needed for the tags to wrap around'");
@@ -63,14 +63,13 @@ void tag_budget_table() {
   const std::uint64_t kOps = moir::bench::scaled(2000000);
   Direct::Var var(0);
   moir::Processor proc;
-  const double secs = moir::bench::timed_threads(1, [&](std::size_t) {
-    for (std::uint64_t i = 0; i < kOps; ++i) {
-      Direct::Keep keep;
-      const std::uint64_t v = Direct::ll(var, keep);
-      Direct::sc(proc, var, keep, (v + 1) & 0xffff);
-    }
-  });
-  const double rate = static_cast<double>(kOps) / secs;  // SC/s
+  const auto& run = h.run_ops(
+      "direct_llsc/t1", 1, kOps, [&](std::size_t, std::uint64_t) {
+        Direct::Keep keep;
+        const std::uint64_t v = Direct::ll(var, keep);
+        Direct::sc(proc, var, keep, (v + 1) & 0xffff);
+      });
+  const double rate = static_cast<double>(run.ops) / run.secs;  // SC/s
 
   moir::Table t("wraparound horizon at the measured SC rate");
   t.columns({"construction", "tag_bits", "value_bits", "sc_rate(M/s)",
@@ -94,17 +93,20 @@ void tag_budget_table() {
          moir::Table::num(rate / 1e6, 2), horizon(48)});
   t.row({"fig4-over-fig3 (2 tags)", "24+24", "16",
          moir::Table::num(rate / 1e6, 2), horizon(24)});
-  t.print();
-  moir::bench::maybe_print_csv(t);
+  h.table(t);
+  h.metric("direct_sc_rate_per_s", rate);
 
-  std::printf("\nspace overhead: 0 words for both (Theorem 3)\n");
+  h.printf("\nspace overhead: 0 words for both (Theorem 3)\n");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  tag_budget_table();
-  return 0;
+  moir::bench::Harness h(argc, argv, "bench_fig5_llsc");
+  if (h.micro()) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  tag_budget_table(h);
+  return h.finish();
 }

@@ -6,6 +6,7 @@
 // practical one for many variables.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <vector>
 
 #include "bench/common.hpp"
@@ -52,8 +53,8 @@ void BM_WideVl(benchmark::State& state) {
 }
 BENCHMARK(BM_WideVl)->Arg(1)->Arg(8)->Arg(64);
 
-void shape_and_space_tables() {
-  moir::bench::print_header(
+void shape_and_space_tables(moir::bench::Harness& h) {
+  h.header(
       "E4 tables: time vs W (expect linear for WLL/SC, flat for VL) and "
       "space vs T",
       "WLL, VL, SC in Θ(W), Θ(1), Θ(W) with Θ(NW) space overhead");
@@ -68,37 +69,40 @@ void shape_and_space_tables() {
     dom.init_var(var, init);
     auto ctx = dom.make_ctx();
     std::vector<std::uint64_t> buf(w);
+    char name[64];
 
-    moir::Stopwatch timer;
-    for (std::uint64_t i = 0; i < kOps; ++i) {
-      Wide::Keep keep;
-      dom.wll(ctx, var, keep, buf);
-    }
-    const double wll_ns = moir::bench::ns_per_op(timer.elapsed_s(), kOps);
+    std::snprintf(name, sizeof name, "wide_wll/w%u", w);
+    const auto& wll_run =
+        h.run_ops(name, 1, kOps, [&](std::size_t, std::uint64_t) {
+          Wide::Keep keep;
+          dom.wll(ctx, var, keep, buf);
+        });
+    const double wll_ns = wll_run.ns_op();
 
-    timer.reset();
-    for (std::uint64_t i = 0; i < kOps; ++i) {
-      Wide::Keep keep;
-      if (dom.wll(ctx, var, keep, buf).success) {
-        dom.sc(ctx, var, keep, buf);
-      }
-    }
-    const double pair_ns = moir::bench::ns_per_op(timer.elapsed_s(), kOps);
+    std::snprintf(name, sizeof name, "wide_wll_sc/w%u", w);
+    const auto& pair_run =
+        h.run_ops(name, 1, kOps, [&](std::size_t, std::uint64_t) {
+          Wide::Keep keep;
+          if (dom.wll(ctx, var, keep, buf).success) {
+            dom.sc(ctx, var, keep, buf);
+          }
+        });
+    const double pair_ns = pair_run.ns_op();
 
     Wide::Keep keep;
     dom.wll(ctx, var, keep, buf);
-    timer.reset();
-    for (std::uint64_t i = 0; i < kOps; ++i) {
-      benchmark::DoNotOptimize(dom.vl(ctx, var, keep));
-    }
-    const double vl_ns = moir::bench::ns_per_op(timer.elapsed_s(), kOps);
+    std::snprintf(name, sizeof name, "wide_vl/w%u", w);
+    const auto& vl_run =
+        h.run_ops(name, 1, kOps, [&](std::size_t, std::uint64_t) {
+          benchmark::DoNotOptimize(dom.vl(ctx, var, keep));
+        });
+    const double vl_ns = vl_run.ns_op();
 
     t.row({moir::Table::num(w), moir::Table::num(wll_ns, 1),
            moir::Table::num(pair_ns - wll_ns, 1), moir::Table::num(vl_ns, 1),
            moir::Table::num(wll_ns / w, 1)});
   }
-  t.print();
-  moir::bench::maybe_print_csv(t);
+  h.table(t);
 
   moir::Table s("space overhead in words, N=16 processes, W=8 segments");
   s.columns({"T (variables)", "this impl (NW)", "naive per-var (NWT)",
@@ -109,15 +113,18 @@ void shape_and_space_tables() {
            moir::Table::num(nw * t_vars),
            moir::Table::num(static_cast<double>(t_vars), 0) + "x"});
   }
-  s.print();
-  moir::bench::maybe_print_csv(s);
+  h.table(s);
+  h.metric("shared_overhead_words_n16_w8", static_cast<double>(nw));
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  shape_and_space_tables();
-  return 0;
+  moir::bench::Harness h(argc, argv, "bench_fig6_wide");
+  if (h.micro()) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  shape_and_space_tables(h);
+  return h.finish();
 }

@@ -6,6 +6,7 @@
 // (Anderson–Moir PODC'95) — the paper's headline improvement.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <vector>
 
 #include "bench/common.hpp"
@@ -68,8 +69,8 @@ void BM_BoundedManyVars(benchmark::State& state) {
 }
 BENCHMARK(BM_BoundedManyVars)->Arg(1)->Arg(64)->Arg(4096);
 
-void tables() {
-  moir::bench::print_header(
+void tables(moir::bench::Harness& h) {
+  h.header(
       "E5 tables: bounded tags — time flat in N/k/T; space vs the prior art",
       "constant-time LL/VL/SC, k concurrent sequences per process, "
       "Θ(N(k+T)) space overhead (vs Θ(N²T) in Anderson–Moir '95)");
@@ -82,20 +83,23 @@ void tables() {
     B dom(n, k);
     B::Var var;
     dom.init_var(var, 0);
-    const double secs = moir::bench::timed_threads(n, [&](std::size_t) {
-      auto ctx = dom.make_ctx();
-      for (std::uint64_t i = 0; i < kOps; ++i) {
-        B::Keep keep;
-        const std::uint64_t v = dom.ll(ctx, var, keep);
-        dom.sc(ctx, var, keep, (v + 1) & 0xffff);
-      }
-    });
+    std::vector<decltype(dom.make_ctx())> ctxs;
+    ctxs.reserve(n);
+    for (unsigned i = 0; i < n; ++i) ctxs.push_back(dom.make_ctx());
+    char name[64];
+    std::snprintf(name, sizeof name, "bounded_llsc/t%u/k%u", n, k);
+    const auto& run =
+        h.run_ops(name, n, kOps, [&](std::size_t tid, std::uint64_t) {
+          auto& ctx = ctxs[tid];
+          B::Keep keep;
+          const std::uint64_t v = dom.ll(ctx, var, keep);
+          dom.sc(ctx, var, keep, (v + 1) & 0xffff);
+        });
     t.row({moir::Table::num(n), moir::Table::num(k),
-           moir::Table::num(moir::bench::ns_per_op(secs, n * kOps), 1),
+           moir::Table::num(run.ns_op(), 1),
            moir::Table::num(std::uint64_t{2} * n * k + 1)});
   }
-  t.print();
-  moir::bench::maybe_print_csv(t);
+  h.table(t);
 
   moir::Table s("shared space overhead in words (N=16, k=2)");
   s.columns(
@@ -108,21 +112,27 @@ void tables() {
            moir::Table::num(prior),
            moir::Table::num(static_cast<double>(prior) / ours, 1) + "x"});
   }
-  s.print();
-  moir::bench::maybe_print_csv(s);
+  h.table(s);
 
   B probe(16, 2);
-  std::printf("\nmeasured from the implementation: shared overhead for "
-              "T=10000 vars = %zu words; private per process = %zu words\n",
-              probe.shared_overhead_words(10000),
-              probe.private_words_per_process());
+  h.metric("shared_overhead_words_t10000",
+           static_cast<double>(probe.shared_overhead_words(10000)));
+  h.metric("private_words_per_process",
+           static_cast<double>(probe.private_words_per_process()));
+  h.printf("\nmeasured from the implementation: shared overhead for "
+           "T=10000 vars = %zu words; private per process = %zu words\n",
+           probe.shared_overhead_words(10000),
+           probe.private_words_per_process());
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  tables();
-  return 0;
+  moir::bench::Harness h(argc, argv, "bench_fig7_bounded");
+  if (h.micro()) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  tables(h);
+  return h.finish();
 }

@@ -9,6 +9,8 @@
 // ≈ p/(1-p). We sweep p far beyond anything hardware exhibits.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
 #include "bench/common.hpp"
 #include "core/llsc_from_rllrsc.hpp"
 #include "util/histogram.hpp"
@@ -17,8 +19,8 @@ namespace {
 
 using L = moir::LlscFromRllRsc<16>;
 
-void retry_tables() {
-  moir::bench::print_header(
+void retry_tables(moir::bench::Harness& h) {
+  h.header(
       "E7: retries per SC vs injected spurious-failure rate",
       "repeated spurious failures are extremely unlikely (geometric tail); "
       "wait-free given finitely many spurious failures per operation");
@@ -33,23 +35,23 @@ void retry_tables() {
     L::Var var(0);
     moir::Processor proc(&faults);
     moir::Histogram retries;
-    moir::Stopwatch timer;
-    for (std::uint64_t i = 0; i < kOps; ++i) {
-      L::Keep keep;
-      const std::uint64_t v = L::ll(var, keep);
-      const std::uint64_t before = proc.stats().attempts;
-      L::sc(proc, var, keep, (v + 1) & 0xffff);
-      retries.record(proc.stats().attempts - before - 1);
-    }
-    const double secs = timer.elapsed_s();
+    char name[64];
+    std::snprintf(name, sizeof name, "llsc_spurious/t1/p%g", p);
+    const auto& run =
+        h.run_ops(name, 1, kOps, [&](std::size_t, std::uint64_t) {
+          L::Keep keep;
+          const std::uint64_t v = L::ll(var, keep);
+          const std::uint64_t before = proc.stats().attempts;
+          L::sc(proc, var, keep, (v + 1) & 0xffff);
+          retries.record(proc.stats().attempts - before - 1);
+        });
     t.row({moir::Table::num(p, 4), moir::Table::num(retries.mean(), 4),
            moir::Table::num(retries.quantile(0.99)),
            moir::Table::num(retries.max()),
            moir::Table::num(p / (1 - p), 4),
-           moir::Table::num(moir::bench::ns_per_op(secs, kOps), 1)});
+           moir::Table::num(run.ns_op(), 1)});
   }
-  t.print();
-  moir::bench::maybe_print_csv(t);
+  h.table(t);
 
   // Full retry histogram at an extreme rate, to show the geometric tail.
   moir::FaultInjector faults;
@@ -64,8 +66,11 @@ void retry_tables() {
     L::sc(proc, var, keep, (v + 1) & 0xffff);
     retries.record(proc.stats().attempts - before - 1);
   }
-  std::printf("\nretry histogram at p=0.3 (log2 buckets — geometric tail):\n%s",
-              retries.render().c_str());
+  h.metric("retry_mean_p03", retries.mean());
+  h.metric("retry_max_p03", static_cast<double>(retries.max()));
+  h.printf(
+      "\nretry histogram at p=0.3 (log2 buckets — geometric tail):\n%s",
+      retries.render().c_str());
 }
 
 void BM_ScUnderSpuriousRate(benchmark::State& state) {
@@ -84,8 +89,11 @@ BENCHMARK(BM_ScUnderSpuriousRate)->Arg(0)->Arg(1)->Arg(10)->Arg(100)->Arg(500);
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  retry_tables();
-  return 0;
+  moir::bench::Harness h(argc, argv, "bench_spurious");
+  if (h.micro()) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  retry_tables(h);
+  return h.finish();
 }

@@ -15,73 +15,73 @@ namespace {
 
 constexpr std::uint64_t kOpsBase = 500000;
 
-double fig3_ns(std::uint64_t ops) {
+double fig3_ns(moir::bench::Harness& h, std::uint64_t ops) {
   moir::CasFromRllRsc<16>::Var var(0);
   moir::Processor proc;
-  moir::Stopwatch t;
   std::uint64_t v = 0;
-  for (std::uint64_t i = 0; i < ops; ++i) {
-    moir::CasFromRllRsc<16>::cas(proc, var, v, (v + 1) & 0xffff);
-    v = (v + 1) & 0xffff;
-  }
-  return moir::bench::ns_per_op(t.elapsed_s(), ops);
+  const auto& run = h.run_ops(
+      "fig3_cas/t1", 1, ops, [&](std::size_t, std::uint64_t) {
+        moir::CasFromRllRsc<16>::cas(proc, var, v, (v + 1) & 0xffff);
+        v = (v + 1) & 0xffff;
+      });
+  return run.ns_op();
 }
 
-double fig4_ns(std::uint64_t ops) {
+double fig4_ns(moir::bench::Harness& h, std::uint64_t ops) {
   moir::LlscFromCas<16>::Var var(0);
-  moir::Stopwatch t;
-  for (std::uint64_t i = 0; i < ops; ++i) {
-    moir::LlscFromCas<16>::Keep keep;
-    const std::uint64_t v = moir::LlscFromCas<16>::ll(var, keep);
-    moir::LlscFromCas<16>::sc(var, keep, (v + 1) & 0xffff);
-  }
-  return moir::bench::ns_per_op(t.elapsed_s(), ops);
+  const auto& run = h.run_ops(
+      "fig4_llsc/t1", 1, ops, [&](std::size_t, std::uint64_t) {
+        moir::LlscFromCas<16>::Keep keep;
+        const std::uint64_t v = moir::LlscFromCas<16>::ll(var, keep);
+        moir::LlscFromCas<16>::sc(var, keep, (v + 1) & 0xffff);
+      });
+  return run.ns_op();
 }
 
-double fig5_ns(std::uint64_t ops) {
+double fig5_ns(moir::bench::Harness& h, std::uint64_t ops) {
   moir::LlscFromRllRsc<16>::Var var(0);
   moir::Processor proc;
-  moir::Stopwatch t;
-  for (std::uint64_t i = 0; i < ops; ++i) {
-    moir::LlscFromRllRsc<16>::Keep keep;
-    const std::uint64_t v = moir::LlscFromRllRsc<16>::ll(var, keep);
-    moir::LlscFromRllRsc<16>::sc(proc, var, keep, (v + 1) & 0xffff);
-  }
-  return moir::bench::ns_per_op(t.elapsed_s(), ops);
+  const auto& run = h.run_ops(
+      "fig5_llsc/t1", 1, ops, [&](std::size_t, std::uint64_t) {
+        moir::LlscFromRllRsc<16>::Keep keep;
+        const std::uint64_t v = moir::LlscFromRllRsc<16>::ll(var, keep);
+        moir::LlscFromRllRsc<16>::sc(proc, var, keep, (v + 1) & 0xffff);
+      });
+  return run.ns_op();
 }
 
-double fig6_ns(std::uint64_t ops, unsigned w) {
+double fig6_ns(moir::bench::Harness& h, std::uint64_t ops, unsigned w) {
   moir::WideLlsc<32> dom(2, w);
   moir::WideLlsc<32>::Var var;
   std::vector<std::uint64_t> buf(w, 1);
   dom.init_var(var, buf);
   auto ctx = dom.make_ctx();
-  moir::Stopwatch t;
-  for (std::uint64_t i = 0; i < ops; ++i) {
-    moir::WideLlsc<32>::Keep keep;
-    if (dom.wll(ctx, var, keep, buf).success) {
-      dom.sc(ctx, var, keep, buf);
-    }
-  }
-  return moir::bench::ns_per_op(t.elapsed_s(), ops);
+  const auto& run = h.run_ops(
+      "fig6_wide/t1/w8", 1, ops, [&](std::size_t, std::uint64_t) {
+        moir::WideLlsc<32>::Keep keep;
+        if (dom.wll(ctx, var, keep, buf).success) {
+          dom.sc(ctx, var, keep, buf);
+        }
+      });
+  return run.ns_op();
 }
 
-double fig7_ns(std::uint64_t ops) {
+double fig7_ns(moir::bench::Harness& h, std::uint64_t ops) {
   moir::BoundedLlsc<> dom(4, 2);
   moir::BoundedLlsc<>::Var var;
   dom.init_var(var, 0);
   auto ctx = dom.make_ctx();
-  moir::Stopwatch t;
-  for (std::uint64_t i = 0; i < ops; ++i) {
-    moir::BoundedLlsc<>::Keep keep;
-    const std::uint64_t v = dom.ll(ctx, var, keep);
-    dom.sc(ctx, var, keep, (v + 1) & 0xffff);
-  }
-  return moir::bench::ns_per_op(t.elapsed_s(), ops);
+  const auto& run = h.run_ops(
+      "fig7_bounded/t1", 1, ops, [&](std::size_t, std::uint64_t) {
+        moir::BoundedLlsc<>::Keep keep;
+        const std::uint64_t v = dom.ll(ctx, var, keep);
+        dom.sc(ctx, var, keep, (v + 1) & 0xffff);
+      });
+  return run.ns_op();
 }
 
-void table() {
-  moir::bench::print_header(
+void table(moir::bench::Harness& h) {
+  h.header(
       "E10: Theorems 1-5 — measured LL;SC (or CAS) cost and space overhead",
       "all constructions time-optimal (constant or Θ(W)); space overhead "
       "0 / 0 / 0 / Θ(NW) / Θ(N(k+T))");
@@ -91,33 +91,37 @@ void table() {
   t.columns({"construction", "primitive", "substrate", "ns/op",
              "paper time", "paper space", "accounted space (words)"});
   t.row({"figure 3 / thm 1", "CAS", "RLL/RSC",
-         moir::Table::num(fig3_ns(ops), 1), "O(1) after spurious", "0", "0"});
+         moir::Table::num(fig3_ns(h, ops), 1), "O(1) after spurious", "0",
+         "0"});
   t.row({"figure 4 / thm 2", "LL,VL,SC", "CAS",
-         moir::Table::num(fig4_ns(ops), 1), "O(1)", "0", "0"});
+         moir::Table::num(fig4_ns(h, ops), 1), "O(1)", "0", "0"});
   t.row({"figure 5 / thm 3", "LL,VL,SC", "RLL/RSC",
-         moir::Table::num(fig5_ns(ops), 1), "O(1) after spurious", "0", "0"});
+         moir::Table::num(fig5_ns(h, ops), 1), "O(1) after spurious", "0",
+         "0"});
   {
     moir::WideLlsc<32> probe(16, 8);
     t.row({"figure 6 / thm 4 (W=8)", "WLL,VL,SC", "CAS",
-           moir::Table::num(fig6_ns(ops / 4, 8), 1), "Θ(W)", "Θ(NW)",
+           moir::Table::num(fig6_ns(h, ops / 4, 8), 1), "Θ(W)", "Θ(NW)",
            moir::Table::num(probe.shared_overhead_words()) + " (N=16,W=8)"});
   }
   {
     moir::BoundedLlsc<> probe(16, 2);
     t.row({"figure 7 / thm 5", "LL,VL,SC,CL", "CAS",
-           moir::Table::num(fig7_ns(ops), 1), "O(1)", "Θ(N(k+T))",
+           moir::Table::num(fig7_ns(h, ops), 1), "O(1)", "Θ(N(k+T))",
            moir::Table::num(probe.shared_overhead_words(100)) +
                " (N=16,k=2,T=100)"});
   }
-  t.print();
-  moir::bench::maybe_print_csv(t);
+  h.table(t);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  table();
-  return 0;
+  moir::bench::Harness h(argc, argv, "bench_theorem_table");
+  if (h.micro()) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  table(h);
+  return h.finish();
 }

@@ -18,19 +18,6 @@
 
 namespace {
 
-template <unsigned ValBits>
-double measure_sc_rate(std::uint64_t ops) {
-  using L = moir::LlscFromCas<ValBits>;
-  typename L::Var var(0);
-  moir::Stopwatch timer;
-  for (std::uint64_t i = 0; i < ops; ++i) {
-    typename L::Keep keep;
-    const std::uint64_t v = L::ll(var, keep);
-    L::sc(var, keep, (v + 1) & L::Word::kMaxValue);
-  }
-  return static_cast<double>(ops) / timer.elapsed_s();
-}
-
 std::string horizon_str(double seconds) {
   char buf[64];
   if (seconds > 3600.0 * 24 * 365 * 1000) {
@@ -69,18 +56,27 @@ bool wraparound_error_occurs() {
   return L::sc(var, victim, 9);  // true = the error happened
 }
 
-void tables() {
-  moir::bench::print_header(
+void tables(moir::bench::Harness& h) {
+  h.header(
       "E6: tag wraparound — horizons at measured SC rate, and the failure "
       "mode with tiny tags",
       "48-bit tags -> error needs 2^48 modifications in one LL-SC sequence "
       "(~9 years at 1M/s); trade-off tag bits vs value bits");
 
   const std::uint64_t kOps = moir::bench::scaled(2000000);
-  const double rate = measure_sc_rate<16>(kOps);
-  std::printf("\nmeasured single-thread SC rate: %.2f M/s (paper assumed "
-              "1 M/s)\n",
-              rate / 1e6);
+  using L16 = moir::LlscFromCas<16>;
+  L16::Var rate_var(0);
+  const auto& rate_run = h.run_ops(
+      "llsc_from_cas/t1", 1, kOps, [&](std::size_t, std::uint64_t) {
+        L16::Keep keep;
+        const std::uint64_t v = L16::ll(rate_var, keep);
+        L16::sc(rate_var, keep, (v + 1) & L16::Word::kMaxValue);
+      });
+  const double rate = static_cast<double>(rate_run.ops) / rate_run.secs;
+  h.metric("measured_sc_rate_per_s", rate);
+  h.printf("\nmeasured single-thread SC rate: %.2f M/s (paper assumed "
+           "1 M/s)\n",
+           rate / 1e6);
 
   moir::Table t("wraparound horizon by tag split (at measured rate)");
   t.columns({"tag_bits", "value_bits", "horizon at measured rate",
@@ -90,14 +86,14 @@ void tables() {
     t.row({moir::Table::num(tag_bits), moir::Table::num(64 - tag_bits),
            horizon_str(states / rate), horizon_str(states / 1e6)});
   }
-  t.print();
-  moir::bench::maybe_print_csv(t);
+  h.table(t);
 
-  std::printf("\nforced wraparound with an 8-bit tag (2^8 = 256 SCs during "
-              "one sequence):\n");
+  h.printf("\nforced wraparound with an 8-bit tag (2^8 = 256 SCs during "
+           "one sequence):\n");
   const bool error8 = wraparound_error_occurs<56>();  // 8-bit tag
-  std::printf("  8-bit tag : stale SC succeeded = %d  (%s)\n", error8,
-              error8 ? "error reproduced, as predicted" : "UNEXPECTED");
+  h.metric("wraparound_error_8bit_tag", error8 ? 1.0 : 0.0);
+  h.printf("  8-bit tag : stale SC succeeded = %d  (%s)\n", error8,
+           error8 ? "error reproduced, as predicted" : "UNEXPECTED");
   const bool error16 = [] {
     // 16-bit tag: the same adversary budget (256 SCs) is NOT enough.
     using L = moir::LlscFromCas<48>;
@@ -111,9 +107,10 @@ void tables() {
     }
     return L::sc(var, victim, 9);
   }();
-  std::printf("  16-bit tag: stale SC succeeded = %d  (needs 2^16 SCs, got "
-              "256)\n",
-              error16);
+  h.metric("wraparound_error_16bit_tag", error16 ? 1.0 : 0.0);
+  h.printf("  16-bit tag: stale SC succeeded = %d  (needs 2^16 SCs, got "
+           "256)\n",
+           error16);
 
   // Figure 7 under the identical adversary: bounded tags never err.
   moir::BoundedLlsc<> dom(2, 1);
@@ -129,9 +126,10 @@ void tables() {
     dom.sc(adv_ctx, var, k, v == 1 ? 2 : 1);
   }
   const bool fig7_err = dom.sc(victim_ctx, var, victim, 9);
-  std::printf("  figure-7  : stale SC succeeded = %d after 100000 SCs "
-              "(bounded tags: error impossible)\n",
-              fig7_err);
+  h.metric("wraparound_error_fig7", fig7_err ? 1.0 : 0.0);
+  h.printf("  figure-7  : stale SC succeeded = %d after 100000 SCs "
+           "(bounded tags: error impossible)\n",
+           fig7_err);
 }
 
 void BM_ScRateByValBits16(benchmark::State& state) {
@@ -159,8 +157,11 @@ BENCHMARK(BM_ScRateByValBits48);
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  tables();
-  return 0;
+  moir::bench::Harness h(argc, argv, "bench_wraparound");
+  if (h.micro()) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  tables(h);
+  return h.finish();
 }

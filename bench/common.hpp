@@ -2,19 +2,34 @@
 //
 // Each bench binary reproduces one experiment row of DESIGN.md's
 // per-experiment index. Micro per-op costs use google-benchmark; the
-// contention/scaling experiments run their own measured thread pools and
-// print paper-style tables (plus CSV when MOIR_BENCH_CSV is set).
+// contention/scaling experiments run through Harness::run_ops, which owns
+// the timing/thread-launch loop once for all benches, samples per-op
+// latency into a Histogram, captures the stats-counter delta of each run,
+// and emits either the human tables (plus CSV when MOIR_BENCH_CSV is set)
+// or a machine-readable JSON report:
+//
+//   bench_fig4_llsc --json          # JSON document on stdout, nothing else
+//   MOIR_BENCH_JSON=out.json ...    # human output on stdout, JSON to file
+//   MOIR_BENCH_QUICK=1              # op counts / 10 (slow hosts)
+//   MOIR_BENCH_SMOKE=1              # op counts / 100 and no micro section
+//                                   #   (the ~100ms CI smoke runs)
 #pragma once
 
 #include <atomic>
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "platform/features.hpp"
+#include "stats/export.hpp"
+#include "stats/stats.hpp"
 #include "util/env.hpp"
+#include "util/histogram.hpp"
+#include "util/json.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
 #include "util/thread_utils.hpp"
@@ -74,9 +89,16 @@ inline double mops(double secs, std::uint64_t ops) {
 }
 
 // Scale factor so benches finish quickly on slow/emulated hosts:
-// MOIR_BENCH_QUICK=1 divides op counts by 10.
+// MOIR_BENCH_QUICK=1 divides op counts by 10; MOIR_BENCH_SMOKE=1 (the CI
+// bench-smoke tests) by 100. Never returns 0.
 inline std::uint64_t scaled(std::uint64_t ops) {
-  return std::getenv("MOIR_BENCH_QUICK") != nullptr ? ops / 10 : ops;
+  if (env_flag("MOIR_BENCH_SMOKE", false)) {
+    return ops / 100 > 0 ? ops / 100 : 1;
+  }
+  if (std::getenv("MOIR_BENCH_QUICK") != nullptr) {
+    return ops / 10 > 0 ? ops / 10 : 1;
+  }
+  return ops;
 }
 
 // Per-thread RNG seed derived from the shared MOIR_SEED base (util/env.hpp),
@@ -85,5 +107,212 @@ inline std::uint64_t scaled(std::uint64_t ops) {
 inline std::uint64_t thread_seed(std::uint64_t thread_index) {
   return base_seed() ^ (0x9e3779b97f4a7c15ULL * (thread_index + 1));
 }
+
+// One measured parallel section: identification, throughput, sampled
+// per-op latency, and the stats-counter delta the section caused.
+struct RunStats {
+  std::string name;
+  unsigned threads = 0;
+  std::uint64_t ops = 0;
+  double secs = 0.0;
+  Histogram latency_ns;  // sampled (1 op in 64), empty for add_run() runs
+  stats::Snapshot counters;
+
+  double ns_op() const { return ns_per_op(secs, ops); }
+  double mops_s() const { return mops(secs, ops); }
+};
+
+class Harness {
+ public:
+  // Strips harness flags (--json) from argv so google-benchmark's own
+  // Initialize never sees them.
+  Harness(int& argc, char** argv, std::string bench_name)
+      : bench_name_(std::move(bench_name)) {
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+      if (std::string(argv[i]) == "--json") {
+        json_stdout_ = true;
+      } else {
+        argv[out++] = argv[i];
+      }
+    }
+    argc = out;
+    argv[argc] = nullptr;
+    if (const char* path = std::getenv("MOIR_BENCH_JSON")) {
+      if (*path != '\0') json_path_ = path;
+    }
+    smoke_ = env_flag("MOIR_BENCH_SMOKE", false);
+    quick_ = std::getenv("MOIR_BENCH_QUICK") != nullptr;
+  }
+
+  // Whether to run the google-benchmark micro section: skipped when JSON
+  // goes to stdout (its human output would corrupt the document) and in
+  // smoke mode (it self-times for seconds; smoke budgets ~100ms total).
+  bool micro() const { return !json_stdout_ && !smoke_; }
+
+  bool json_to_stdout() const { return json_stdout_; }
+
+  void header(const char* experiment, const char* claim) {
+    if (experiment_.empty()) {
+      experiment_ = experiment;
+      claim_ = claim;
+    }
+    if (!json_stdout_) print_header(experiment, claim);
+  }
+
+  // printf that respects JSON-on-stdout mode; use for the loose notes the
+  // benches print around their tables.
+  void printf(const char* fmt, ...) __attribute__((format(printf, 2, 3))) {
+    if (json_stdout_) return;
+    va_list ap;
+    va_start(ap, fmt);
+    std::vprintf(fmt, ap);
+    va_end(ap);
+  }
+
+  // The one timing/thread-launch loop. `op(thread_index, op_index)` performs
+  // a single logical operation (including any retry loop it needs); every
+  // 64th op per thread is timed individually into the latency histogram.
+  // Per-thread state (Processor, ThreadCtx, ...) must be pre-created by the
+  // caller and indexed by thread_index inside `op`.
+  template <class Op>
+  const RunStats& run_ops(std::string name, unsigned threads,
+                          std::uint64_t ops_per_thread, Op&& op) {
+    std::vector<Histogram> hists(threads);
+    const stats::Snapshot before = stats::snapshot();
+    const double secs = timed_threads(threads, [&](std::size_t t) {
+      Histogram& h = hists[t];
+      for (std::uint64_t i = 0; i < ops_per_thread; ++i) {
+        if ((i & 63) == 0) {
+          Stopwatch sample;
+          op(t, i);
+          h.record(sample.elapsed_ns());
+        } else {
+          op(t, i);
+        }
+      }
+    });
+    RunStats run;
+    run.name = std::move(name);
+    run.threads = threads;
+    run.ops = std::uint64_t{threads} * ops_per_thread;
+    run.secs = secs;
+    for (const Histogram& h : hists) run.latency_ns.merge(h);
+    run.counters = stats::snapshot() - before;
+    runs_.push_back(std::move(run));
+    return runs_.back();
+  }
+
+  // Record a section measured outside run_ops (irregular loops that keep
+  // their own timed_threads call). No latency histogram; still captures
+  // throughput for the JSON report.
+  const RunStats& add_run(std::string name, unsigned threads,
+                          std::uint64_t ops, double secs) {
+    RunStats run;
+    run.name = std::move(name);
+    run.threads = threads;
+    run.ops = ops;
+    run.secs = secs;
+    runs_.push_back(std::move(run));
+    return runs_.back();
+  }
+
+  // Print (human mode) and record (JSON) a result table.
+  void table(const Table& t) {
+    if (!json_stdout_) {
+      t.print();
+      maybe_print_csv(t);
+    }
+    tables_.push_back(t);
+  }
+
+  // Loose scalar result worth exporting (space overhead words, ratios...).
+  void metric(const std::string& key, double value) {
+    metrics_.emplace_back(key, value);
+  }
+
+  // Emit the JSON report (stdout and/or MOIR_BENCH_JSON file). Returns the
+  // process exit code.
+  int finish() {
+    if (!json_stdout_ && json_path_.empty()) return 0;
+    const std::string doc = to_json();
+    if (json_stdout_) std::printf("%s\n", doc.c_str());
+    if (!json_path_.empty()) {
+      std::FILE* f = std::fopen(json_path_.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot write MOIR_BENCH_JSON=%s\n",
+                     json_path_.c_str());
+        return 1;
+      }
+      std::fprintf(f, "%s\n", doc.c_str());
+      std::fclose(f);
+    }
+    return 0;
+  }
+
+  std::string to_json() const {
+    JsonWriter w;
+    w.begin_object()
+        .kv("schema", "moir-bench-v1")
+        .kv("bench", bench_name_)
+        .kv("experiment", experiment_)
+        .kv("claim", claim_)
+        .kv("platform", platform_summary())
+        .kv("stats_compiled_in", stats::kCompiledIn)
+        .kv("quick", quick_)
+        .kv("smoke", smoke_);
+    w.key("runs").begin_array();
+    for (const RunStats& r : runs_) {
+      w.begin_object()
+          .kv("name", r.name)
+          .kv("threads", r.threads)
+          .kv("ops", r.ops)
+          .kv("secs", r.secs)
+          .kv("ns_per_op", r.ns_op())
+          .kv("mops", r.mops_s());
+      w.key("latency_ns").raw(r.latency_ns.to_json());
+      w.key("counters");
+      stats::counters_json(w, r.counters);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("tables").begin_array();
+    for (const Table& t : tables_) {
+      w.begin_object().kv("title", t.title());
+      w.key("columns").begin_array();
+      for (const auto& c : t.column_names()) w.value(c);
+      w.end_array();
+      w.key("rows").begin_array();
+      for (const auto& row : t.row_data()) {
+        w.begin_array();
+        for (const auto& cell : row) w.value(cell);
+        w.end_array();
+      }
+      w.end_array().end_object();
+    }
+    w.end_array();
+    w.key("metrics").begin_object();
+    for (const auto& [k, v] : metrics_) w.kv(k, v);
+    w.end_object();
+    w.key("counters");
+    stats::counters_json(w, stats::snapshot());
+    w.key("histograms");
+    stats::histograms_json(w);
+    w.end_object();
+    return w.str();
+  }
+
+ private:
+  std::string bench_name_;
+  std::string experiment_;
+  std::string claim_;
+  bool json_stdout_ = false;
+  std::string json_path_;
+  bool quick_ = false;
+  bool smoke_ = false;
+  std::vector<RunStats> runs_;
+  std::vector<Table> tables_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
 
 }  // namespace moir::bench

@@ -38,6 +38,7 @@
 #include "core/tag_queue.hpp"
 #include "core/word_provider.hpp"
 #include "platform/yield_point.hpp"
+#include "stats/stats.hpp"
 #include "util/assertion.hpp"
 #include "util/bits.hpp"
 
@@ -169,6 +170,11 @@ class BoundedLlsc {
   // cells. The per-process counters last_[pid] are owner-only (no other
   // process touches them) and therefore omitted from the footprints.
   value_type ll(ThreadCtx& ctx, const Var& var, Keep& keep) {
+    if (ctx.stack_.available() == 0) {
+      // Counted before the pop() assertion fires so the exhaustion shows
+      // up in counters/trace even though the process is about to die.
+      stats::count(stats::Id::kTagExhaustion, 1, &var);
+    }
     keep.slot = ctx.stack_.pop();                                   // line 1
     MOIR_YIELD_READ(&var.word_);
     const std::uint64_t old = var.word_.load();                     // line 2
@@ -196,7 +202,10 @@ class BoundedLlsc {
   bool sc(ThreadCtx& ctx, Var& var, const Keep& keep, value_type newval) {
     MOIR_ASSERT(newval <= max_value());
     ctx.stack_.push(keep.slot);                                     // line 8
-    if (keep.fail) return false;                                    // line 9
+    if (keep.fail) {                                                // line 9
+      stats::count(stats::Id::kScFail, 1, &var);
+      return false;
+    }
 
     // line 10: read one announcement; retire its tag to the queue back.
     MOIR_YIELD_READ(&announce(ctx.j_ / k_, ctx.j_ % k_));
@@ -204,8 +213,10 @@ class BoundedLlsc {
         announce(ctx.j_ / k_, ctx.j_ % k_).load(std::memory_order_seq_cst);
     ctx.queue_.move_to_back(
         static_cast<std::uint32_t>(Packed{announced}.tag()));
+    stats::count(stats::Id::kTagRecycle, 1, &var);
     ctx.j_ = (ctx.j_ + 1) % ctx.scan_range_;                        // line 11
     const std::uint32_t t = ctx.queue_.rotate();                    // line 12
+    stats::count(stats::Id::kTagAlloc, 1, &var);
 
     // lines 13-14: next counter for (this variable, this process).
     const std::uint32_t cnt = static_cast<std::uint32_t>(add_mod_range(
@@ -218,8 +229,10 @@ class BoundedLlsc {
     // line 15: CAS from the announced old word to the freshly-tagged new.
     std::uint64_t expected =
         announce(ctx.pid_, keep.slot).load(std::memory_order_seq_cst);
-    return var.word_.cas(ctx.words_, expected,
-                         Packed::make(t, cnt, ctx.pid_, newval).raw);
+    const bool ok = var.word_.cas(ctx.words_, expected,
+                                  Packed::make(t, cnt, ctx.pid_, newval).raw);
+    stats::count(ok ? stats::Id::kScSuccess : stats::Id::kScFail, 1, &var);
+    return ok;
   }
 
   value_type read(const Var& var) const {

@@ -15,6 +15,7 @@
 #include "platform/rll_rsc.hpp"
 #include "platform/yield_point.hpp"
 #include "core/tagged_word.hpp"
+#include "stats/stats.hpp"
 
 namespace moir {
 
@@ -47,13 +48,30 @@ class CasFromRllRsc {
                   value_type new_value) {
     MOIR_YIELD_READ(&var.word_);
     const Word oldword = Word::from_raw(var.word_.read());       // line 1
-    if (oldword.value() != old_value) return false;              // line 2
-    if (old_value == new_value) return true;                     // line 3
+    if (oldword.value() != old_value) {                          // line 2
+      stats::count(stats::Id::kCasFail, 1, &var);
+      return false;
+    }
+    if (old_value == new_value) {                                // line 3
+      stats::count(stats::Id::kCasSuccess, 1, &var);
+      return true;
+    }
     const Word newword = oldword.successor(new_value);           // line 4
+    std::uint64_t retries = 0;
     for (;;) {
       // rll/rsc announce their own accesses; no extra yield point needed.
-      if (proc.rll(var.word_) != oldword.raw()) return false;    // line 5
-      if (proc.rsc(var.word_, newword.raw())) return true;       // line 6
+      if (proc.rll(var.word_) != oldword.raw()) {                // line 5
+        stats::count(stats::Id::kCasFail, 1, &var);
+        stats::record(stats::HistId::kScRetries, retries);
+        return false;
+      }
+      if (proc.rsc(var.word_, newword.raw())) {                  // line 6
+        stats::count(stats::Id::kCasSuccess, 1, &var);
+        stats::record(stats::HistId::kScRetries, retries);
+        return true;
+      }
+      ++retries;
+      stats::count(stats::Id::kRscRetry, 1, &var);
     }
   }
 

@@ -14,6 +14,7 @@
 
 #include "core/tagged_word.hpp"
 #include "platform/yield_point.hpp"
+#include "stats/stats.hpp"
 
 namespace moir {
 
@@ -64,8 +65,10 @@ class LlscFromCas {
   static bool sc(Var& var, const Keep& keep, value_type new_value) {
     MOIR_YIELD_UPDATE(&var);
     std::uint64_t expected = keep.raw();
-    return var.word_.compare_exchange_strong(
+    const bool ok = var.word_.compare_exchange_strong(
         expected, keep.successor(new_value).raw(), std::memory_order_seq_cst);
+    stats::count(ok ? stats::Id::kScSuccess : stats::Id::kScFail, 1, &var);
+    return ok;
   }
 };
 

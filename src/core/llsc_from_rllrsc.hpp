@@ -14,6 +14,7 @@
 #include "core/tagged_word.hpp"
 #include "platform/rll_rsc.hpp"
 #include "platform/yield_point.hpp"
+#include "stats/stats.hpp"
 
 namespace moir {
 
@@ -59,10 +60,23 @@ class LlscFromRllRsc {
                  value_type new_value) {
     const Word oldword = keep;                                   // line 4
     const Word newword = keep.successor(new_value);              // line 5
+    std::uint64_t retries = 0;
     for (;;) {
       // rll/rsc announce their own accesses; no extra yield point needed.
-      if (proc.rll(var.word_) != oldword.raw()) return false;    // line 6
-      if (proc.rsc(var.word_, newword.raw())) return true;       // line 7
+      if (proc.rll(var.word_) != oldword.raw()) {                // line 6
+        stats::count(stats::Id::kScFail, 1, &var);
+        stats::record(stats::HistId::kScRetries, retries);
+        return false;
+      }
+      if (proc.rsc(var.word_, newword.raw())) {                  // line 7
+        stats::count(stats::Id::kScSuccess, 1, &var);
+        stats::record(stats::HistId::kScRetries, retries);
+        return true;
+      }
+      // Only spurious RSC failures reach here: a genuine change to the
+      // word makes the next rll() miss oldword and return false above.
+      ++retries;
+      stats::count(stats::Id::kRscRetry, 1, &var);
     }
   }
 };

@@ -5,10 +5,40 @@
 namespace moir {
 
 unsigned ProcessRegistry::register_process() {
+  // Pop a released id first. The version tag in the head word makes the
+  // CAS immune to ABA from concurrent pop/push/pop of the same id.
+  std::uint64_t head = free_head_.load(std::memory_order_acquire);
+  while ((head & 0xffffffffull) != 0) {
+    const unsigned id = static_cast<unsigned>(head & 0xffffffffull) - 1;
+    const std::uint64_t version = (head >> 32) + 1;
+    const std::uint64_t next =
+        (version << 32) | free_next_[id].load(std::memory_order_relaxed);
+    if (free_head_.compare_exchange_weak(head, next,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+      return id;
+    }
+  }
   const unsigned id = next_.fetch_add(1, std::memory_order_relaxed);
   MOIR_ASSERT_MSG(id < max_processes_,
                   "more threads registered than the registry was sized for");
   return id;
+}
+
+void ProcessRegistry::release_process(unsigned id) {
+  MOIR_ASSERT_MSG(id < next_.load(std::memory_order_relaxed),
+                  "releasing an id this registry never assigned");
+  std::uint64_t head = free_head_.load(std::memory_order_relaxed);
+  for (;;) {
+    free_next_[id].store(static_cast<std::uint32_t>(head & 0xffffffffull),
+                         std::memory_order_relaxed);
+    const std::uint64_t version = (head >> 32) + 1;
+    if (free_head_.compare_exchange_weak(head, (version << 32) | (id + 1),
+                                         std::memory_order_release,
+                                         std::memory_order_relaxed)) {
+      return;
+    }
+  }
 }
 
 unsigned this_process_id(ProcessRegistry& registry) {

@@ -5,24 +5,41 @@
 // Ids are explicit (passed to the algorithms) rather than hidden in
 // thread-local state so that a single test thread can play several
 // "processes" when exercising interleavings deterministically.
+//
+// Ids can be returned with release_process() and are then reused, so
+// max_processes bounds *concurrent* holders, not the lifetime total. The
+// stats layer leans on this: test suites spawn thousands of short-lived
+// threads (the schedule explorer creates fresh threads per trial) and each
+// briefly leases a stats shard. The free list is a lock-free Treiber stack
+// over a preallocated next[] array, with a version tag against ABA.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 
 namespace moir {
 
 class ProcessRegistry {
  public:
   explicit ProcessRegistry(unsigned max_processes)
-      : max_processes_(max_processes) {}
+      : max_processes_(max_processes),
+        free_next_(new std::atomic<std::uint32_t>[max_processes]) {}
 
-  // Assigns the next free id. Aborts if more than max_processes register:
-  // the shared arrays sized N cannot accommodate an N+1th process, and
-  // failing loudly beats corrupting them.
+  // Assigns a free id, preferring released ones. Aborts if more than
+  // max_processes hold ids at once: the shared arrays sized N cannot
+  // accommodate an N+1th process, and failing loudly beats corrupting
+  // them.
   unsigned register_process();
 
+  // Returns an id to the free pool. The caller must not use the id after
+  // this, and must have quiesced any shared state indexed by it.
+  void release_process(unsigned id);
+
   unsigned max_processes() const { return max_processes_; }
+
+  // High-water mark: ids ever minted by fetch-add (released ids stay
+  // counted). Shared arrays indexed by process id are live over [0, this).
   unsigned registered() const {
     return next_.load(std::memory_order_relaxed);
   }
@@ -30,6 +47,9 @@ class ProcessRegistry {
  private:
   const unsigned max_processes_;
   std::atomic<unsigned> next_{0};
+  // Free list head: {version:32, id+1:32}; low half 0 means empty.
+  std::atomic<std::uint64_t> free_head_{0};
+  std::unique_ptr<std::atomic<std::uint32_t>[]> free_next_;
 };
 
 // Convenience: a thread-local id bound to a registry on first use.

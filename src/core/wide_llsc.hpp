@@ -36,6 +36,7 @@
 #include "core/process_registry.hpp"
 #include "core/word_provider.hpp"
 #include "platform/yield_point.hpp"
+#include "stats/stats.hpp"
 #include "util/assertion.hpp"
 #include "util/bits.hpp"
 
@@ -146,7 +147,10 @@ class WideLlsc {
     MOIR_ASSERT(newval.size() == w_);
     MOIR_YIELD_READ(&var.header_);
     const std::uint64_t oldhdr = var.header_.load();                // line 14
-    if (header_tag(oldhdr) != keep.tag) return false;               // line 15
+    if (header_tag(oldhdr) != keep.tag) {                           // line 15
+      stats::count(stats::Id::kScFail, 1, &var);
+      return false;
+    }
     MOIR_YIELD_STEP([&] {
       auto s = ::moir::testing::StepInfo::none();
       for (unsigned i = 0; i < w_; ++i) s.also_write(&announce(ctx.pid, i));
@@ -162,8 +166,10 @@ class WideLlsc {
     MOIR_YIELD_UPDATE(&var.header_);
     std::uint64_t expected = oldhdr;
     if (!var.header_.cas(ctx.words, expected, newhdr)) {            // line 19
+      stats::count(stats::Id::kScFail, 1, &var);
       return false;
     }
+    stats::count(stats::Id::kScSuccess, 1, &var);
     copy(ctx, var, newhdr, nullptr);                                // line 20
     return true;                                                    // line 21
   }
@@ -220,6 +226,10 @@ class WideLlsc {
     const std::uint64_t want_tag = header_tag(hdr);
     const std::uint64_t prev_tag = sub_mod_pow2(want_tag, 1, TagBits);
     const unsigned src_pid = static_cast<unsigned>(header_pid(hdr));
+    // A helping round is a Copy pass that does real work (>= 1 segment CAS
+    // attempt) on behalf of ANOTHER process's in-flight SC. A pass over
+    // fully-copied segments, or over our own SC's header, does not count.
+    bool helped = false;
     for (unsigned i = 0; i < w_; ++i) {                             // line 1
       MOIR_YIELD_STEP(::moir::testing::StepInfo::read(&var.data_[i])
                           .also_read(&var.header_));
@@ -231,6 +241,11 @@ class WideLlsc {
         const std::uint64_t z = pack_segment(
             want_tag,
             announce(src_pid, i).load(std::memory_order_seq_cst));  // line 4
+        stats::count(stats::Id::kWordCopies, 1, &var);
+        if (!helped && src_pid != ctx.pid) {
+          helped = true;
+          stats::count(stats::Id::kHelpRounds, 1, &var);
+        }
         std::uint64_t expected = y;
         if (var.data_[i].cas(ctx.words, expected, z)) {             // line 5
           y = z;                                                    // line 6

@@ -40,6 +40,7 @@
 #include "core/llsc_from_cas.hpp"
 #include "core/process_registry.hpp"
 #include "platform/yield_point.hpp"
+#include "stats/stats.hpp"
 #include "util/assertion.hpp"
 #include "util/cache.hpp"
 
@@ -95,6 +96,7 @@ class Stm {
       MOIR_YIELD_POINT();
     }
     result.committed = true;
+    stats::record(stats::HistId::kStmAbortsPerCommit, result.aborts);
     return result;
   }
 
@@ -133,9 +135,11 @@ class Stm {
     const std::uint64_t st = d.status.load(std::memory_order_seq_cst);
     if (Status::state(st) != Status::kCommitted) {
       aborts_.fetch_add(1, std::memory_order_relaxed);
+      stats::count(stats::Id::kStmAbort, 1, this);
       return false;
     }
     commits_.fetch_add(1, std::memory_order_relaxed);
+    stats::count(stats::Id::kStmCommit, 1, this);
     const unsigned n = d.n.load(std::memory_order_relaxed);
     for (unsigned i = 0; i < n; ++i) {
       result.olds[i] =
@@ -240,6 +244,7 @@ class Stm {
     const std::uint32_t seq = d.seq.load(std::memory_order_seq_cst);
     if ((seq & ((1u << 23) - 1)) == seq23) {
       helps_.fetch_add(1, std::memory_order_relaxed);
+      stats::count(stats::Id::kStmHelp, 1, this);
       run_phases(d, pid, seq, depth);
     }
     d.helpers.fetch_sub(1, std::memory_order_seq_cst);

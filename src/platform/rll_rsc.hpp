@@ -36,6 +36,7 @@
 #include "platform/dwcas.hpp"
 #include "platform/fault.hpp"
 #include "platform/yield_point.hpp"
+#include "stats/stats.hpp"
 #include "util/assertion.hpp"
 #include "util/cache.hpp"
 
@@ -117,6 +118,7 @@ class Processor {
     reserved_word_ = nullptr;
     if (faults_ != nullptr && faults_->should_fail()) {
       ++stats_.spurious_failures;
+      stats::count(stats::Id::kRscSpurious, 1, &word);
       return false;
     }
     VerVal expected = snapshot_;
@@ -126,6 +128,7 @@ class Processor {
       return true;
     }
     ++stats_.conflict_failures;
+    stats::count(stats::Id::kRscConflict, 1, &word);
     return false;
   }
 
@@ -145,6 +148,7 @@ class Processor {
     reserved_word_ = nullptr;
     if (faults_ != nullptr && faults_->should_fail()) {
       ++stats_.spurious_failures;
+      stats::count(stats::Id::kRscSpurious, 1, &word);
       return false;
     }
     VerVal cur = dw_load(&word.cell_);
@@ -158,6 +162,7 @@ class Processor {
       cur = expected;  // compare_exchange wrote back the observed pair
     }
     ++stats_.conflict_failures;
+    stats::count(stats::Id::kRscConflict, 1, &word);
     return false;
   }
 

@@ -35,15 +35,27 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdio>
 #include <functional>
 #include <vector>
 
 #include "sim/controlled_scheduler.hpp"
 #include "sim/schedule.hpp"
+#include "stats/stats.hpp"
 #include "util/assertion.hpp"
 #include "util/rng.hpp"
 
 namespace moir::testing {
+
+// On a check() violation, dump the stats event-trace rings (if tracing is
+// on) next to the replayable schedule string: the schedule says which
+// interleaving failed, the trace says what the algorithms did along it.
+inline void on_violation_found(const Schedule& schedule) {
+  if (!stats::trace_enabled()) return;
+  std::fprintf(stderr, "moir explore: violation on schedule %s\n",
+               schedule.str().c_str());
+  stats::dump_trace(stderr);
+}
 
 struct ExploreOptions {
   std::size_t max_trials = 100000;
@@ -138,6 +150,7 @@ class ScheduleExplorer {
       if (!trial.check()) {
         result.violation_found = true;
         result.violating_schedule = taken;
+        on_violation_found(taken);
         if (!options.keep_going) return result;
       }
 
@@ -193,6 +206,7 @@ class ScheduleExplorer {
       if (!trial.check()) {
         result.violation_found = true;
         result.violating_schedule = taken;
+        on_violation_found(taken);
         return result;
       }
     }

@@ -1,0 +1,42 @@
+#include "stats/export.hpp"
+
+namespace moir::stats {
+
+Table counters_table(const Snapshot& snap, const std::string& title) {
+  Table t(title);
+  t.columns({"counter", "count"});
+  for (unsigned i = 0; i < kNumCounters; ++i) {
+    t.row({name(static_cast<Id>(i)), Table::num(snap.counts[i])});
+  }
+  return t;
+}
+
+void counters_json(JsonWriter& w, const Snapshot& snap) {
+  w.begin_object();
+  for (unsigned i = 0; i < kNumCounters; ++i) {
+    w.kv(name(static_cast<Id>(i)), snap.counts[i]);
+  }
+  w.end_object();
+}
+
+void histograms_json(JsonWriter& w) {
+  w.begin_object();
+  for (unsigned i = 0; i < kNumHists; ++i) {
+    const auto id = static_cast<HistId>(i);
+    w.key(name(id)).raw(merged_histogram(id).to_json());
+  }
+  w.end_object();
+}
+
+std::string export_json() {
+  JsonWriter w;
+  w.begin_object().kv("compiled_in", kCompiledIn);
+  w.key("counters");
+  counters_json(w, snapshot());
+  w.key("histograms");
+  histograms_json(w);
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace moir::stats

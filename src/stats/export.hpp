@@ -1,0 +1,31 @@
+// Exporters for the stats layer: the existing ASCII table format for
+// humans, JSON for sweeps and dashboards. Both emit the full counter
+// catalogue (zeros included) in catalogue order, so consumers see a stable
+// schema whether stats are compiled in or not.
+#pragma once
+
+#include <string>
+
+#include "stats/stats.hpp"
+#include "util/json.hpp"
+#include "util/table.hpp"
+
+namespace moir::stats {
+
+// Two-column table of every counter in the catalogue.
+Table counters_table(const Snapshot& snap,
+                     const std::string& title = "stats counters");
+
+// Writes {"sc_success": N, ...} as one JSON object value into `w` (the
+// caller supplies the surrounding key/document).
+void counters_json(JsonWriter& w, const Snapshot& snap);
+
+// Writes {"sc_retries": {...histogram...}, ...} with the merged view of
+// every histogram in the catalogue.
+void histograms_json(JsonWriter& w);
+
+// Standalone convenience document:
+//   {"compiled_in": b, "counters": {...}, "histograms": {...}}
+std::string export_json();
+
+}  // namespace moir::stats

@@ -6,15 +6,32 @@
 // invariant checks in release builds unless MOIR_DISABLE_ASSERTS is defined.
 #pragma once
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
 namespace moir {
 
+// Called (if installed) after the failure message is printed and before
+// abort(). The stats layer installs a hook that dumps its event-trace ring
+// buffers, so a failed invariant comes with the last K events that led to
+// it. The hook must be async-signal-tolerant in spirit: no locks it could
+// already hold, no allocation it cannot afford to leak — the process is
+// dying anyway.
+using AssertionHook = void (*)();
+
+inline std::atomic<AssertionHook>& assertion_hook() {
+  static std::atomic<AssertionHook> hook{nullptr};
+  return hook;
+}
+
 [[noreturn]] inline void assertion_failure(const char* expr, const char* file,
                                            int line, const char* msg) {
   std::fprintf(stderr, "moir: assertion failed: %s\n  at %s:%d\n  %s\n", expr,
                file, line, msg == nullptr ? "" : msg);
+  if (AssertionHook hook = assertion_hook().load(std::memory_order_acquire)) {
+    hook();
+  }
   std::abort();
 }
 

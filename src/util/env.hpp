@@ -4,6 +4,11 @@
 //   MOIR_SEED           base seed for every randomized component
 //   MOIR_EXPLORE_SCALE  multiplier for exploration trial/run budgets
 //   MOIR_BENCH_QUICK    benches divide op counts by 10 (see bench/common.hpp)
+//   MOIR_BENCH_SMOKE    benches divide op counts by 100 (~100ms smoke runs)
+//   MOIR_BENCH_JSON     path benches write their JSON report to
+//   MOIR_STATS          runtime stats-counter toggle (default on; see
+//                       src/stats/stats.hpp for the compile-time switch)
+//   MOIR_TRACE          enables the stats event-trace ring buffers
 #pragma once
 
 #include <cstdint>
@@ -18,6 +23,22 @@ inline std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
   const unsigned long long v = std::strtoull(s, &end, 0);
   return (end == nullptr || *end != '\0') ? fallback
                                           : static_cast<std::uint64_t>(v);
+}
+
+// Boolean knob: unset/empty -> fallback; "0", "false", "off", "no" (any
+// case) -> false; anything else -> true.
+inline bool env_flag(const char* name, bool fallback) {
+  const char* s = std::getenv(name);
+  if (s == nullptr || *s == '\0') return fallback;
+  auto matches = [s](const char* word) {
+    const char* p = s;
+    for (; *word != '\0'; ++p, ++word) {
+      const char c = (*p >= 'A' && *p <= 'Z') ? static_cast<char>(*p + 32) : *p;
+      if (c != *word) return false;
+    }
+    return *p == '\0';
+  };
+  return !(matches("0") || matches("false") || matches("off") || matches("no"));
 }
 
 // Base seed for randomized schedules / yield fuzzing; sweep in CI via

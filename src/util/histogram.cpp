@@ -2,26 +2,39 @@
 
 #include <cstdio>
 
+#include "util/json.hpp"
+
 namespace moir {
 
 void Histogram::merge(const Histogram& other) {
-  for (unsigned b = 0; b <= kBuckets; ++b) counts_[b] += other.counts_[b];
-  total_ += other.total_;
-  n_ += other.n_;
-  if (other.max_ > max_) max_ = other.max_;
+  merge_parts(other.counts_.data(), other.total_, other.n_, other.max_,
+              other.n_ == 0 ? ~std::uint64_t{0} : other.min_);
+}
+
+void Histogram::merge_parts(const std::uint64_t* counts, std::uint64_t total,
+                            std::uint64_t n, std::uint64_t max,
+                            std::uint64_t min) {
+  for (unsigned b = 0; b <= kBuckets; ++b) counts_[b] += counts[b];
+  total_ += total;
+  n_ += n;
+  if (n > 0) {
+    if (max > max_) max_ = max;
+    if (min < min_) min_ = min;
+  }
 }
 
 std::uint64_t Histogram::quantile(double q) const {
   if (n_ == 0) return 0;
-  if (q < 0.0) q = 0.0;
+  if (!(q >= 0.0)) q = 0.0;  // also catches NaN
   if (q > 1.0) q = 1.0;
   const auto target = static_cast<std::uint64_t>(q * static_cast<double>(n_));
   std::uint64_t seen = 0;
   for (unsigned b = 0; b <= kBuckets; ++b) {
     seen += counts_[b];
     if (seen > target) {
-      // A bucket's range can extend past the observed maximum; clamp so
-      // quantiles are monotone and never exceed max().
+      // A bucket's range can extend past the observed maximum — always
+      // true for the overflow bucket, whose nominal upper bound is ~0 —
+      // so clamp to max() to keep quantiles monotone and attainable.
       return bucket_upper(b) < max_ ? bucket_upper(b) : max_;
     }
   }
@@ -43,14 +56,50 @@ std::string Histogram::render(const std::string& unit) const {
     const double frac =
         static_cast<double>(counts_[b]) / static_cast<double>(n_);
     const int bars = static_cast<int>(frac * 50.0 + 0.5);
-    std::snprintf(line, sizeof line, "  <=%-12llu %10llu %5.1f%% |%.*s\n",
-                  static_cast<unsigned long long>(bucket_upper(b)),
-                  static_cast<unsigned long long>(counts_[b]), frac * 100.0,
-                  bars,
-                  "##################################################");
+    if (b == kBuckets) {
+      // Overflow bucket: values above 2^63-1; "<= 2^64-1" would suggest a
+      // power-of-two range this bucket does not have.
+      std::snprintf(line, sizeof line, "  > %-12llu %10llu %5.1f%% |%.*s\n",
+                    static_cast<unsigned long long>(bucket_upper(63)),
+                    static_cast<unsigned long long>(counts_[b]), frac * 100.0,
+                    bars,
+                    "##################################################");
+    } else {
+      std::snprintf(line, sizeof line, "  <=%-12llu %10llu %5.1f%% |%.*s\n",
+                    static_cast<unsigned long long>(bucket_upper(b)),
+                    static_cast<unsigned long long>(counts_[b]), frac * 100.0,
+                    bars,
+                    "##################################################");
+    }
     out += line;
   }
   return out;
+}
+
+std::string Histogram::to_json() const {
+  JsonWriter w;
+  w.begin_object()
+      .kv("n", n_)
+      .kv("sum", total_)
+      .kv("mean", mean())
+      .kv("min", min())
+      .kv("max", max_)
+      .kv("p50", quantile(0.50))
+      .kv("p90", quantile(0.90))
+      .kv("p99", quantile(0.99));
+  w.key("buckets").begin_array();
+  for (unsigned b = 0; b <= kBuckets; ++b) {
+    if (counts_[b] == 0) continue;
+    w.begin_object();
+    if (b == kBuckets) {
+      w.key("le").null();
+    } else {
+      w.kv("le", bucket_upper(b));
+    }
+    w.kv("count", counts_[b]).end_object();
+  }
+  w.end_array().end_object();
+  return w.str();
 }
 
 }  // namespace moir

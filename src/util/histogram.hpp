@@ -2,7 +2,10 @@
 //
 // Buckets are power-of-two ranges, so recording is branch-light and the
 // histogram never allocates after construction — safe to use from
-// measurement loops without perturbing them.
+// measurement loops without perturbing them. Bucket b holds values in
+// (2^(b-1)-1, 2^b-1]; the final bucket (index kBuckets) is the overflow
+// bucket for values above 2^63-1, whose range has no finite power-of-two
+// upper bound.
 #pragma once
 
 #include <array>
@@ -22,22 +25,38 @@ class Histogram {
     total_ += value;
     ++n_;
     if (value > max_) max_ = value;
+    if (value < min_) min_ = value;
   }
 
   // Merge another histogram (e.g. per-thread ones) into this one.
   void merge(const Histogram& other);
 
+  // Merge raw parts, for producers that keep bucket arrays in their own
+  // storage (the stats shards store atomics and cannot hand us a
+  // Histogram). `counts` must have kBuckets+1 entries. `min` uses the same
+  // convention as min(): meaningful only when n > 0.
+  void merge_parts(const std::uint64_t* counts, std::uint64_t total,
+                   std::uint64_t n, std::uint64_t max, std::uint64_t min);
+
   std::uint64_t count() const { return n_; }
   std::uint64_t max() const { return max_; }
+  std::uint64_t min() const { return n_ == 0 ? 0 : min_; }
+  std::uint64_t sum() const { return total_; }
   double mean() const {
     return n_ == 0 ? 0.0 : static_cast<double>(total_) / static_cast<double>(n_);
   }
 
-  // Approximate quantile (upper bound of the bucket containing it).
+  // Approximate quantile (upper bound of the bucket containing it, clamped
+  // to the observed max). Returns 0 for an empty histogram.
   std::uint64_t quantile(double q) const;
 
   // Multi-line human-readable rendering: one row per non-empty bucket.
   std::string render(const std::string& unit = "") const;
+
+  // Compact JSON object: summary stats plus non-empty buckets. The
+  // overflow bucket is emitted with "le": null since its range has no
+  // finite upper bound representable here.
+  std::string to_json() const;
 
   std::uint64_t bucket_count(unsigned b) const { return counts_[b]; }
 
@@ -45,7 +64,9 @@ class Histogram {
     return value == 0 ? 0 : 64 - static_cast<unsigned>(__builtin_clzll(value));
   }
 
-  // Inclusive upper bound of values mapped to bucket b.
+  // Inclusive upper bound of values mapped to bucket b. The overflow
+  // bucket reports ~0 (the largest representable value), which is also the
+  // largest value it can actually contain.
   static std::uint64_t bucket_upper(unsigned b) {
     return b >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << b) - 1;
   }
@@ -55,6 +76,7 @@ class Histogram {
   std::uint64_t total_ = 0;
   std::uint64_t n_ = 0;
   std::uint64_t max_ = 0;
+  std::uint64_t min_ = ~std::uint64_t{0};
 };
 
 }  // namespace moir

@@ -1,0 +1,143 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/assertion.hpp"
+
+namespace moir {
+
+void JsonWriter::element() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // the key already handled the separator
+  }
+  if (depth_.empty()) return;  // top-level value
+  if (depth_.back() == 'f') {
+    depth_.back() = 'n';
+  } else {
+    out_ += ',';
+  }
+}
+
+void JsonWriter::append_escaped(std::string_view s) {
+  out_ += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out_ += "\\\"";
+        break;
+      case '\\':
+        out_ += "\\\\";
+        break;
+      case '\n':
+        out_ += "\\n";
+        break;
+      case '\t':
+        out_ += "\\t";
+        break;
+      case '\r':
+        out_ += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out_ += buf;
+        } else {
+          out_ += c;
+        }
+    }
+  }
+  out_ += '"';
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  element();
+  out_ += '{';
+  depth_.push_back('f');
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  MOIR_ASSERT_MSG(!depth_.empty() && !pending_key_,
+                  "end_object with no open object or dangling key");
+  depth_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  element();
+  out_ += '[';
+  depth_.push_back('f');
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  MOIR_ASSERT_MSG(!depth_.empty() && !pending_key_,
+                  "end_array with no open array or dangling key");
+  depth_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  MOIR_ASSERT_MSG(!pending_key_, "two keys in a row");
+  element();
+  append_escaped(k);
+  out_ += ':';
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  element();
+  append_escaped(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  element();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  if (!std::isfinite(v)) return null();
+  element();
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  element();
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  element();
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  element();
+  out_ += "null";
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw(std::string_view json) {
+  element();
+  out_ += json;
+  return *this;
+}
+
+}  // namespace moir

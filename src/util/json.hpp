@@ -1,0 +1,60 @@
+// Minimal streaming JSON writer.
+//
+// The bench exporter and stats layer need machine-readable output, and the
+// container has no JSON library — so this is a small hand-rolled writer:
+// it tracks container nesting for comma placement, escapes strings, and
+// maps non-finite doubles to null (JSON has no NaN/Inf). Output is compact
+// single-line JSON; pretty-printing is the consumer's job
+// (`python3 -m json.tool`).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace moir {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  // Object key; must be followed by exactly one value or container.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+  JsonWriter& null();
+
+  template <class T>
+  JsonWriter& kv(std::string_view k, T v) {
+    key(k);
+    return value(v);
+  }
+
+  // Splice a pre-rendered JSON fragment (e.g. Histogram::to_json()) as one
+  // value. The fragment is trusted to be valid JSON.
+  JsonWriter& raw(std::string_view json);
+
+  bool complete() const { return depth_.empty() && !out_.empty(); }
+  const std::string& str() const { return out_; }
+
+ private:
+  void element();  // comma/first-element bookkeeping before a value
+  void append_escaped(std::string_view s);
+
+  std::string out_;
+  std::vector<char> depth_;  // 'f' = container awaiting first element, 'n' = not
+  bool pending_key_ = false;
+};
+
+}  // namespace moir

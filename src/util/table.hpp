@@ -27,6 +27,13 @@ class Table {
   // Print render() to stdout.
   void print() const;
 
+  // Structured access, for exporters that re-encode the table (JSON).
+  const std::string& title() const { return title_; }
+  const std::vector<std::string>& column_names() const { return columns_; }
+  const std::vector<std::vector<std::string>>& row_data() const {
+    return rows_;
+  }
+
   static std::string num(double v, int precision = 2);
   static std::string num(std::uint64_t v);
   static std::string num(std::int64_t v);

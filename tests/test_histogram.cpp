@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 namespace moir {
 namespace {
 
@@ -56,6 +58,94 @@ TEST(Histogram, RenderMentionsStats) {
   const std::string r = h.render("ns");
   EXPECT_NE(r.find("n=1"), std::string::npos);
   EXPECT_NE(r.find("max=5ns"), std::string::npos);
+}
+
+
+TEST(Histogram, OverflowBucket) {
+  Histogram h;
+  const std::uint64_t huge = ~std::uint64_t{0};  // > 2^63-1: overflow bucket
+  h.record(huge);
+  h.record(1);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), huge);
+  // Quantiles landing in the overflow bucket clamp to the max recordable
+  // bound rather than inventing an upper edge.
+  EXPECT_EQ(h.quantile(1.0), ~std::uint64_t{0});
+  // render() must show the overflow row without a bogus "le" bound.
+  const std::string r = h.render("ns");
+  EXPECT_NE(r.find("> 9223372036854775807"), std::string::npos) << r;
+}
+
+TEST(Histogram, AllZeroValues) {
+  Histogram h;
+  for (int i = 0; i < 10; ++i) h.record(0);
+  EXPECT_EQ(h.count(), 10u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.quantile(0.5), 0u);
+  EXPECT_EQ(h.quantile(1.0), 0u);
+}
+
+TEST(Histogram, MinSum) {
+  Histogram h;
+  EXPECT_EQ(h.min(), 0u) << "empty histogram reports min 0, not UINT64_MAX";
+  h.record(7);
+  h.record(3);
+  h.record(12);
+  EXPECT_EQ(h.min(), 3u);
+  EXPECT_EQ(h.sum(), 22u);
+  Histogram other;
+  other.record(1);
+  h.merge(other);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.sum(), 23u);
+  // Merging an EMPTY histogram must not drag min to 0.
+  h.merge(Histogram{});
+  EXPECT_EQ(h.min(), 1u);
+}
+
+TEST(Histogram, ToJson) {
+  Histogram h;
+  h.record(5);
+  h.record(~std::uint64_t{0});
+  const std::string j = h.to_json();
+  EXPECT_EQ(j.front(), '{');
+  EXPECT_EQ(j.back(), '}');
+  EXPECT_NE(j.find("\"n\":2"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"min\":5"), std::string::npos) << j;
+  // The overflow bucket exports "le": null — no fake finite bound.
+  EXPECT_NE(j.find("\"le\":null"), std::string::npos) << j;
+}
+
+TEST(Histogram, ToJsonEmpty) {
+  const std::string j = Histogram{}.to_json();
+  EXPECT_NE(j.find("\"n\":0"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"buckets\":[]"), std::string::npos) << j;
+}
+
+TEST(Histogram, MergeParts) {
+  // Fold shard-style raw parts (as stats::HistShard keeps them) into a
+  // real histogram and check every summary statistic carries over.
+  Histogram reference;
+  reference.record(3);
+  reference.record(300);
+  std::uint64_t counts[Histogram::kBuckets + 1] = {};
+  counts[Histogram::bucket_of(3)]++;
+  counts[Histogram::bucket_of(300)]++;
+  Histogram h;
+  h.merge_parts(counts, /*total=*/303, /*n=*/2, /*max=*/300, /*min=*/3);
+  EXPECT_EQ(h.count(), reference.count());
+  EXPECT_EQ(h.sum(), reference.sum());
+  EXPECT_EQ(h.min(), reference.min());
+  EXPECT_EQ(h.max(), reference.max());
+  EXPECT_EQ(h.quantile(0.5), reference.quantile(0.5));
+  // n == 0 parts are a no-op, min untouched.
+  const std::uint64_t zero[Histogram::kBuckets + 1] = {};
+  h.merge_parts(zero, 0, 0, 0, ~std::uint64_t{0});
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.min(), 3u);
 }
 
 }  // namespace

@@ -45,5 +45,49 @@ TEST(ProcessRegistry, ThisProcessIdRebindsAcrossRegistries) {
   EXPECT_EQ(b, 0u);
 }
 
+
+TEST(ProcessRegistry, ReleaseRecyclesIds) {
+  ProcessRegistry r(2);
+  const unsigned a = r.register_process();
+  const unsigned b = r.register_process();
+  EXPECT_NE(a, b);
+  // The pool is full; releasing makes the id available again, so the pool
+  // bounds CONCURRENT registrations, not the lifetime count.
+  r.release_process(a);
+  EXPECT_EQ(r.register_process(), a);
+  r.release_process(b);
+  r.release_process(a);
+  const unsigned c = r.register_process();
+  const unsigned d = r.register_process();
+  EXPECT_NE(c, d);
+  EXPECT_TRUE((c == a || c == b) && (d == a || d == b));
+}
+
+TEST(ProcessRegistry, RecyclingSurvivesManyGenerations) {
+  // Far more lifetime registrations than the pool size: every generation
+  // must see a valid dense id. The versioned free-list head defeats ABA.
+  ProcessRegistry r(4);
+  for (int gen = 0; gen < 1000; ++gen) {
+    unsigned ids[4];
+    for (auto& id : ids) {
+      id = r.register_process();
+      EXPECT_LT(id, 4u);
+    }
+    EXPECT_NE(ids[0], ids[1]);
+    for (const unsigned id : ids) r.release_process(id);
+  }
+}
+
+TEST(ProcessRegistry, ConcurrentRegisterReleaseChurn) {
+  ProcessRegistry r(8);
+  run_threads(8, [&](std::size_t) {
+    for (int i = 0; i < 500; ++i) {
+      const unsigned id = r.register_process();
+      EXPECT_LT(id, 8u);
+      r.release_process(id);
+    }
+  });
+}
+
 }  // namespace
 }  // namespace moir

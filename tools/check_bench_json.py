@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""CI validator for the bench harness's JSON export (ctest label bench-smoke).
+
+Runs one bench binary twice in smoke mode:
+  1. with --json          -> the report must be the ONLY stdout content
+  2. with MOIR_BENCH_JSON -> human tables on stdout, the report in the file
+and checks both documents against the moir-bench-v1 schema: identification,
+at least one run with throughput numbers, a latency histogram per run_ops
+run, and the full stats-counter catalogue (sc_fail, help_rounds,
+tag_recycle, ... — zeros allowed, missing keys not).
+
+Usage: check_bench_json.py <bench-binary> [minimum-run-count]
+"""
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+REQUIRED_TOP = [
+    "schema", "bench", "platform", "stats_compiled_in", "runs", "tables",
+    "metrics", "counters", "histograms",
+]
+# The acceptance counters from the issue plus the rest of the catalogue.
+REQUIRED_COUNTERS = [
+    "sc_success", "sc_fail", "cas_success", "cas_fail", "rsc_retry",
+    "rsc_spurious", "rsc_conflict", "tag_alloc", "tag_recycle",
+    "tag_exhaustion", "help_rounds", "word_copies", "stm_commit",
+    "stm_abort", "stm_help",
+]
+REQUIRED_RUN = ["name", "threads", "ops", "secs", "ns_per_op", "mops",
+                "latency_ns", "counters"]
+
+
+def fail(msg):
+    print(f"check_bench_json: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_doc(doc, source, min_runs):
+    for key in REQUIRED_TOP:
+        if key not in doc:
+            fail(f"{source}: missing top-level key '{key}'")
+    if doc["schema"] != "moir-bench-v1":
+        fail(f"{source}: unexpected schema '{doc['schema']}'")
+    runs = doc["runs"]
+    if len(runs) < min_runs:
+        fail(f"{source}: expected >= {min_runs} runs, got {len(runs)}")
+    for run in runs:
+        for key in REQUIRED_RUN:
+            if key not in run:
+                fail(f"{source}: run '{run.get('name')}' missing '{key}'")
+        if run["ops"] <= 0 or run["secs"] < 0:
+            fail(f"{source}: run '{run['name']}' has bogus throughput")
+        for counter in REQUIRED_COUNTERS:
+            if counter not in run["counters"]:
+                fail(f"{source}: run '{run['name']}' missing counter "
+                     f"'{counter}'")
+    for counter in REQUIRED_COUNTERS:
+        if counter not in doc["counters"]:
+            fail(f"{source}: global counters missing '{counter}'")
+
+
+def main():
+    if len(sys.argv) < 2:
+        fail("usage: check_bench_json.py <bench-binary> [min-runs]")
+    bench = sys.argv[1]
+    min_runs = int(sys.argv[2]) if len(sys.argv) > 2 else 1
+    env = dict(os.environ, MOIR_BENCH_SMOKE="1")
+    env.pop("MOIR_BENCH_JSON", None)
+
+    # Mode 1: --json on stdout, nothing else.
+    proc = subprocess.run([bench, "--json"], capture_output=True, text=True,
+                          env=env, timeout=300)
+    if proc.returncode != 0:
+        fail(f"{bench} --json exited {proc.returncode}: {proc.stderr}")
+    try:
+        doc = json.loads(proc.stdout)
+    except json.JSONDecodeError as e:
+        fail(f"{bench} --json stdout is not pure JSON ({e}); "
+             f"first 200 chars: {proc.stdout[:200]!r}")
+    check_doc(doc, f"{bench} --json", min_runs)
+
+    # Mode 2: MOIR_BENCH_JSON file alongside human output.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "report.json")
+        env2 = dict(env, MOIR_BENCH_JSON=path)
+        proc = subprocess.run([bench], capture_output=True, text=True,
+                              env=env2, timeout=300)
+        if proc.returncode != 0:
+            fail(f"{bench} (MOIR_BENCH_JSON) exited {proc.returncode}")
+        if not os.path.exists(path):
+            fail(f"{bench} did not write MOIR_BENCH_JSON={path}")
+        with open(path) as f:
+            file_doc = json.load(f)
+        check_doc(file_doc, f"{bench} MOIR_BENCH_JSON", min_runs)
+        if not proc.stdout.strip():
+            fail(f"{bench} MOIR_BENCH_JSON mode suppressed human output")
+
+    print(f"check_bench_json: OK: {os.path.basename(bench)} "
+          f"({len(doc['runs'])} runs, stats_compiled_in="
+          f"{doc['stats_compiled_in']})")
+
+
+if __name__ == "__main__":
+    main()
