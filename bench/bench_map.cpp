@@ -1,0 +1,235 @@
+// E12 (reclamation + map): YCSB-style key-value traffic over the sharded
+// non-blocking hash map, sweeping threads x reclaimer policy x LL/SC
+// substrate, under uniform and zipfian (theta=0.99) key distributions.
+//
+// What the sweep shows: (a) the full stack — Moir LL/SC emulation below,
+// SMR in the middle, hash map on top — serves a standard workload shape;
+// (b) the epoch/hazard trade-off under skew (zipfian concentrates traffic
+// on a few chains, so hazard-pointer validation restarts and epoch
+// announcement costs both concentrate there too); (c) reclamation really
+// happens: the JSON carries node_retire/node_free/epoch_advance/hp_scan
+// per run, and the bench hard-fails if any value read mismatches its key's
+// checksum (payload reuse under a live reader) or if blocks leak.
+//
+// Workloads (YCSB A/B/C): 50/50, 95/5, 100/0 read/update mixes over a
+// preloaded keyspace; updates are in-place upserts, so steady-state alloc
+// traffic comes from the erase/insert churn section at the end of each run.
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "core/bounded_llsc.hpp"
+#include "core/llsc_traits.hpp"
+#include "map/sharded_map.hpp"
+#include "reclaim/epoch.hpp"
+#include "reclaim/hazard.hpp"
+#include "util/rng.hpp"
+#include "util/zipf.hpp"
+
+namespace {
+
+constexpr std::uint64_t kKeys = 4096;
+constexpr std::uint64_t kValueSalt = 0x5bd1e995u;
+
+std::uint64_t value_of(std::uint64_t key) { return key * 31 + kValueSalt; }
+
+std::atomic<std::uint64_t> g_mismatches{0};
+std::atomic<std::uint64_t> g_leaks{0};
+
+// Per-run throughput by run name, for the human result tables.
+std::vector<std::pair<std::string, double>> g_results;
+
+double mops_of(const std::string& name) {
+  for (const auto& [n, v] : g_results) {
+    if (n == name) return v;
+  }
+  return 0.0;
+}
+
+template <class MapT>
+typename MapT::Config map_config() {
+  return {.shards = 8, .buckets_per_shard = 64, .capacity_per_shard = 1024};
+}
+
+// One YCSB run: preload the keyspace, run the read/update mix, then churn
+// (erase+insert) a slice, drain, and account every block.
+template <class S, class MapT>
+void ycsb_run(moir::bench::Harness& h, const std::string& name, S& substrate,
+              unsigned threads, unsigned read_pct, bool zipfian,
+              std::uint64_t ops_each) {
+  MapT map(substrate, threads + 1, map_config<MapT>());
+  auto main_ctx = map.make_ctx();
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    if (!map.insert(main_ctx, k, value_of(k))) {
+      std::fprintf(stderr, "preload failed at key %llu\n",
+                   static_cast<unsigned long long>(k));
+      g_leaks.fetch_add(1);
+      return;
+    }
+  }
+
+  std::vector<typename MapT::ThreadCtx> ctxs;
+  ctxs.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) ctxs.push_back(map.make_ctx());
+  std::vector<moir::Xoshiro256> rngs;
+  for (unsigned t = 0; t < threads; ++t) {
+    rngs.emplace_back(moir::bench::thread_seed(t));
+  }
+  const moir::ZipfianGenerator zipf(kKeys);
+  const moir::UniformGenerator uni(kKeys);
+
+  const auto& stats =
+      h.run_ops(name, threads, ops_each, [&](std::size_t tid, std::uint64_t) {
+        auto& rng = rngs[tid];
+        const std::uint64_t key =
+            zipfian ? zipf.next_scrambled(rng) : uni.next(rng);
+        if (rng.next_below(100) < read_pct) {
+          if (const auto v = map.find(ctxs[tid], key)) {
+            if (*v != value_of(key)) g_mismatches.fetch_add(1);
+          } else {
+            g_mismatches.fetch_add(1);  // preloaded keys never erased here
+          }
+        } else {
+          (void)map.upsert(ctxs[tid], key, value_of(key));
+        }
+      });
+  g_results.emplace_back(name, stats.mops_s());
+
+  // Churn section (not timed): delete/reinsert so retire->free actually
+  // cycles blocks through the reclaimer, then drain and account.
+  for (std::uint64_t k = 0; k < kKeys / 4; ++k) {
+    (void)map.erase(main_ctx, k);
+    (void)map.insert(main_ctx, k, value_of(k));
+  }
+  for (std::uint64_t k = 0; k < kKeys; ++k) (void)map.erase(main_ctx, k);
+  ctxs.clear();  // fold per-thread reclaimer state before the final purge
+  map.purge(main_ctx);
+  const auto cfg = map.config();
+  const std::uint64_t total =
+      std::uint64_t{cfg.shards} * cfg.capacity_per_shard;
+  if (map.free_blocks_quiescent() != total || map.size_approx() != 0) {
+    std::fprintf(stderr, "%s: leak: %llu of %llu blocks free, size=%lld\n",
+                 name.c_str(),
+                 static_cast<unsigned long long>(map.free_blocks_quiescent()),
+                 static_cast<unsigned long long>(total),
+                 static_cast<long long>(map.size_approx()));
+    g_leaks.fetch_add(1);
+  }
+}
+
+template <class R>
+void sweep_substrates(moir::bench::Harness& h, const char* rec_name,
+                      std::uint64_t ops_each) {
+  // YCSB-A (50/50, zipfian) across the thread sweep, per substrate.
+  for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+    moir::CasBackedLlsc<16> fig4;
+    ycsb_run<moir::CasBackedLlsc<16>,
+             moir::ShardedHashMap<moir::CasBackedLlsc<16>, R>>(
+        h, std::string("ycsb-a/fig4/") + rec_name + "/t" +
+               std::to_string(threads),
+        fig4, threads, 50, /*zipfian=*/true, ops_each);
+  }
+  for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+    moir::BoundedLlsc<> fig7(threads + 2, /*k=*/2);
+    ycsb_run<moir::BoundedLlsc<>,
+             moir::ShardedHashMap<moir::BoundedLlsc<>, R>>(
+        h, std::string("ycsb-a/fig7/") + rec_name + "/t" +
+               std::to_string(threads),
+        fig7, threads, 50, /*zipfian=*/true, ops_each);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  moir::bench::Harness h(argc, argv, "bench_map");
+  h.header(
+      "E12: YCSB A/B/C over the sharded map — reclaimer x substrate x "
+      "threads, uniform vs zipfian(0.99)",
+      "with SMR layered on the paper's LL/SC emulations, a non-blocking map "
+      "serves skewed traffic; epoch vs hazard is a read-cost vs "
+      "garbage-bound trade, visible in the exported counters");
+
+  const std::uint64_t kOps = moir::bench::scaled(40000);
+
+  sweep_substrates<moir::reclaim::EpochReclaimer>(h, "epoch", kOps);
+  sweep_substrates<moir::reclaim::HazardPointerReclaimer>(h, "hazard", kOps);
+
+  // YCSB-B (95/5) and YCSB-C (read-only) at 4 threads, both reclaimers.
+  {
+    moir::CasBackedLlsc<16> fig4;
+    ycsb_run<moir::CasBackedLlsc<16>,
+             moir::ShardedHashMap<moir::CasBackedLlsc<16>,
+                                  moir::reclaim::EpochReclaimer>>(
+        h, "ycsb-b/fig4/epoch/t4", fig4, 4, 95, true, kOps);
+    ycsb_run<moir::CasBackedLlsc<16>,
+             moir::ShardedHashMap<moir::CasBackedLlsc<16>,
+                                  moir::reclaim::EpochReclaimer>>(
+        h, "ycsb-c/fig4/epoch/t4", fig4, 4, 100, true, kOps);
+  }
+  {
+    moir::CasBackedLlsc<16> fig4;
+    ycsb_run<moir::CasBackedLlsc<16>,
+             moir::ShardedHashMap<moir::CasBackedLlsc<16>,
+                                  moir::reclaim::HazardPointerReclaimer>>(
+        h, "ycsb-b/fig4/hazard/t4", fig4, 4, 95, true, kOps);
+    ycsb_run<moir::CasBackedLlsc<16>,
+             moir::ShardedHashMap<moir::CasBackedLlsc<16>,
+                                  moir::reclaim::HazardPointerReclaimer>>(
+        h, "ycsb-c/fig4/hazard/t4", fig4, 4, 100, true, kOps);
+  }
+
+  // Uniform control for the zipfian YCSB-A point (same mix, no skew).
+  {
+    moir::CasBackedLlsc<16> fig4;
+    ycsb_run<moir::CasBackedLlsc<16>,
+             moir::ShardedHashMap<moir::CasBackedLlsc<16>,
+                                  moir::reclaim::EpochReclaimer>>(
+        h, "ycsb-a-uniform/fig4/epoch/t4", fig4, 4, 50, false, kOps);
+  }
+
+  {
+    moir::Table t("YCSB-A zipfian(0.99) 50/50 read-update (Mops/s)");
+    t.columns({"threads", "fig4/epoch", "fig7/epoch", "fig4/hazard",
+               "fig7/hazard"});
+    for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+      const std::string ts = "/t" + std::to_string(threads);
+      t.row({moir::Table::num(threads),
+             moir::Table::num(mops_of("ycsb-a/fig4/epoch" + ts), 2),
+             moir::Table::num(mops_of("ycsb-a/fig7/epoch" + ts), 2),
+             moir::Table::num(mops_of("ycsb-a/fig4/hazard" + ts), 2),
+             moir::Table::num(mops_of("ycsb-a/fig7/hazard" + ts), 2)});
+    }
+    h.table(t);
+  }
+  {
+    moir::Table t("YCSB mixes, fig4 substrate, 4 threads (Mops/s)");
+    t.columns({"mix", "epoch", "hazard"});
+    t.row({"A 50/50 zipf",
+           moir::Table::num(mops_of("ycsb-a/fig4/epoch/t4"), 2),
+           moir::Table::num(mops_of("ycsb-a/fig4/hazard/t4"), 2)});
+    t.row({"B 95/5 zipf",
+           moir::Table::num(mops_of("ycsb-b/fig4/epoch/t4"), 2),
+           moir::Table::num(mops_of("ycsb-b/fig4/hazard/t4"), 2)});
+    t.row({"C read-only zipf",
+           moir::Table::num(mops_of("ycsb-c/fig4/epoch/t4"), 2),
+           moir::Table::num(mops_of("ycsb-c/fig4/hazard/t4"), 2)});
+    t.row({"A 50/50 uniform",
+           moir::Table::num(mops_of("ycsb-a-uniform/fig4/epoch/t4"), 2),
+           "-"});
+    h.table(t);
+  }
+
+  h.metric("value_mismatches", static_cast<double>(g_mismatches.load()));
+  h.metric("leaked_runs", static_cast<double>(g_leaks.load()));
+  h.printf("integrity: %llu mismatches, %llu leaking runs\n",
+           static_cast<unsigned long long>(g_mismatches.load()),
+           static_cast<unsigned long long>(g_leaks.load()));
+
+  const int rc = h.finish();
+  if (g_mismatches.load() != 0 || g_leaks.load() != 0) return 2;
+  return rc;
+}

@@ -10,6 +10,13 @@
 // on every conforming substrate, and tests prove it stays correct under
 // aggressive recycling. On the NaiveCasLlsc strawman the same code corrupts
 // itself, which test_aba_structures.cpp demonstrates.
+// Two variants live here. TreiberStack recycles nodes through a bounded
+// free list and never frees: safe against ABA purely by tags, but its
+// payloads must be atomics (a popped node's slot is re-written immediately)
+// and its footprint is the peak forever. ReclaimedTreiberStack at the
+// bottom of this file instead retires popped nodes through a pluggable
+// Reclaimer (src/reclaim/), which is what lets nodes be *genuinely freed*
+// back to an allocator while concurrent poppers may still be reading them.
 #pragma once
 
 #include <cstdint>
@@ -17,6 +24,8 @@
 #include <optional>
 
 #include "core/llsc_traits.hpp"
+#include "reclaim/block_allocator.hpp"
+#include "reclaim/reclaimer.hpp"
 #include "util/assertion.hpp"
 
 namespace moir {
@@ -128,6 +137,133 @@ class TreiberStack {
   std::unique_ptr<std::atomic<std::uint64_t>[]> payload_;
   IndexStack<S> live_;
   IndexStack<S> free_;
+};
+
+// ---------------------------------------------------------------------------
+// Treiber stack whose popped nodes are RETIRED through a Reclaimer instead
+// of recycled in place. The substrate's tags still make the head SC
+// ABA-safe on their own; what the reclaimer adds is that a node's payload
+// is not re-written (by the allocator's next customer) while a slow popper
+// that already read `head = A` is still reading A's fields. pop() completes
+// the hazard-pointer handshake with vl(): validating the LL's tag after
+// protect() proves the head did not change — a fortiori A was not popped,
+// so A was announced before any possible retire. Under EBR both protect()
+// and the extra vl() cost nothing beyond the vl itself.
+// ---------------------------------------------------------------------------
+template <SmallLlscSubstrate S, reclaim::Reclaimer R>
+class ReclaimedTreiberStack {
+ public:
+  struct ThreadCtx {
+    typename S::ThreadCtx sub;
+    typename R::ThreadCtx rec;
+  };
+
+  ReclaimedTreiberStack(S& substrate, unsigned max_threads,
+                        std::uint32_t capacity)
+      : substrate_(substrate),
+        capacity_(capacity),
+        alloc_(capacity,
+               [&](Node& n) { substrate.init_var(n.next, capacity); }),
+        reclaimer_(max_threads,
+                   [this](std::uint32_t idx) { alloc_.free(idx); }) {
+    MOIR_ASSERT_MSG(capacity < substrate.max_value(),
+                    "node indices (plus the null sentinel) must fit the "
+                    "substrate's value field");
+    substrate_.init_var(head_, capacity_);
+  }
+
+  // ThreadCtxs must not outlive the stack.
+  ThreadCtx make_ctx() {
+    return ThreadCtx{substrate_.make_ctx(), reclaimer_.make_ctx()};
+  }
+
+  // Returns false when the allocator pool is exhausted — which, unlike the
+  // bounded TreiberStack, includes nodes still in reclaimer limbo.
+  bool push(ThreadCtx& ctx, std::uint64_t value) {
+    reclaimer_.enter(ctx.rec);
+    const auto idx = alloc_.alloc();
+    if (!idx) {
+      reclaimer_.exit(ctx.rec);
+      return false;
+    }
+    Node& n = alloc_.node(*idx);
+    n.value = value;
+    for (;;) {
+      typename S::Keep keep;
+      const std::uint64_t head = substrate_.ll(ctx.sub, head_, keep);
+      set_next(ctx, n, head);
+      if (substrate_.sc(ctx.sub, head_, keep, *idx)) break;
+    }
+    reclaimer_.exit(ctx.rec);
+    return true;
+  }
+
+  std::optional<std::uint64_t> pop(ThreadCtx& ctx) {
+    reclaimer_.enter(ctx.rec);
+    std::optional<std::uint64_t> out;
+    for (;;) {
+      typename S::Keep keep;
+      const std::uint64_t head = substrate_.ll(ctx.sub, head_, keep);
+      if (head == capacity_) {
+        substrate_.cl(ctx.sub, keep);
+        break;
+      }
+      const std::uint32_t h = static_cast<std::uint32_t>(head);
+      reclaimer_.protect(ctx.rec, 0, h);
+      if (!substrate_.vl(ctx.sub, head_, keep)) {
+        // Head moved before the announcement was provably visible; the
+        // node may already be retired (or freed). Restart.
+        substrate_.cl(ctx.sub, keep);
+        continue;
+      }
+      Node& n = alloc_.node(h);
+      // Plain (non-atomic under EBR/HP semantics) payload read, made safe
+      // purely by the protection above — THE point of this variant.
+      const std::uint64_t value = n.value;
+      const std::uint64_t next = substrate_.read(n.next);
+      if (substrate_.sc(ctx.sub, head_, keep, next)) {
+        reclaimer_.retire(ctx.rec, h);
+        out = value;
+        break;
+      }
+    }
+    reclaimer_.clear(ctx.rec, 0);
+    reclaimer_.exit(ctx.rec);
+    return out;
+  }
+
+  bool empty() const { return substrate_.read(head_) == capacity_; }
+  std::uint32_t capacity() const { return capacity_; }
+
+  R& reclaimer() { return reclaimer_; }
+  void flush(ThreadCtx& ctx) { reclaimer_.flush(ctx.rec); }
+
+  // Quiescent-only leak probe: blocks currently in the allocator free list.
+  std::uint64_t free_blocks_quiescent() const {
+    return alloc_.free_count_quiescent();
+  }
+
+ private:
+  struct Node {
+    std::uint64_t value = 0;  // plain on purpose: the reclaimer makes it safe
+    typename S::Var next;
+  };
+
+  // Owned-node link write still goes THROUGH the protocol so the tag keeps
+  // advancing across alloc/free cycles (ms_queue.hpp's reset_next idiom).
+  void set_next(ThreadCtx& ctx, Node& n, std::uint64_t next) {
+    for (;;) {
+      typename S::Keep keep;
+      substrate_.ll(ctx.sub, n.next, keep);
+      if (substrate_.sc(ctx.sub, n.next, keep, next)) return;
+    }
+  }
+
+  S& substrate_;
+  const std::uint32_t capacity_;
+  typename S::Var head_;
+  reclaim::BlockAllocator<Node> alloc_;
+  R reclaimer_;  // last: its dtor frees through alloc_
 };
 
 }  // namespace moir

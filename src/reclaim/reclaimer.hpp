@@ -1,0 +1,114 @@
+// The Reclaimer concept: pluggable safe-memory-reclamation policies.
+//
+// The paper's LL/SC emulations make *link mutation* ABA-safe (a stale SC
+// fails because the tag advanced), but they do not make *payload reads*
+// safe: a traverser holding node index n may read n's key after another
+// thread unlinked, freed, and re-allocated n. Tag-protected SC catches the
+// stale *write*; nothing catches the stale *read*. That is the gap between
+// the bounded always-recycling pools of treiber_stack.hpp and a structure
+// whose nodes hold plain (non-atomic) payload and are genuinely freed —
+// closing it needs a reclamation policy, and which policy is a workload
+// decision. Hence a concept with interchangeable implementations:
+//
+//   * EpochReclaimer   (epoch.hpp)  — per-thread epoch slots, 3 limbo
+//     buckets, amortized O(1); readers pay two stores per operation.
+//   * HazardPointerReclaimer (hazard.hpp) — bounded per-thread HP slots,
+//     scan-and-free; readers pay a store + validate per node visited, but
+//     unreclaimed garbage is bounded even when a reader stalls forever.
+//   * UnsafeImmediateReclaimer (below) — the deliberately broken negative
+//     control: protect() is a lie and retire() frees immediately. Tests use
+//     it to prove the detectors (ASan poisoning, TSan, value checks) catch
+//     exactly the bug the real policies prevent. Never use it for real.
+//
+// Protocol, for a structure templated over Reclaimer R:
+//
+//   R::ThreadCtx ctx = r.make_ctx();          // one per thread
+//   r.enter(ctx);                             // start of every operation
+//   r.protect(ctx, slot, idx);                // announce intent to read idx
+//   ... re-validate the source pointer ...    // caller's half of the HP
+//                                             // handshake (no-op cost under
+//                                             // epochs, where protect is a
+//                                             // no-op and enter pins)
+//   r.retire(ctx, idx);                       // after unlinking idx
+//   r.exit(ctx);                              // end of every operation
+//   r.flush(ctx);                             // best effort: free whatever
+//                                             // is provably safe now
+//
+// retire() may be called between enter() and exit(). A node must be
+// unreachable from the structure before it is retired, and each node is
+// retired exactly once (the thread that unlinks it retires it). Reclaimers
+// free through the FreeFn they were constructed with — normally
+// BlockAllocator::free, which poisons under ASan.
+//
+// Thread exit: a ThreadCtx folds its un-freed retire list into the
+// reclaimer's orphan list on destruction (like the stats shards fold into
+// the retired accumulator), so short-lived threads leak nothing.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <functional>
+
+#include "stats/stats.hpp"
+
+namespace moir::reclaim {
+
+// How a reclaimer gives blocks back (normally BlockAllocator::free).
+using FreeFn = std::function<void(std::uint32_t)>;
+
+template <typename R>
+concept Reclaimer =
+    requires(R r, typename R::ThreadCtx& ctx, std::uint32_t idx,
+             unsigned slot) {
+      { r.make_ctx() } -> std::same_as<typename R::ThreadCtx>;
+      { r.enter(ctx) };
+      { r.exit(ctx) };
+      { r.protect(ctx, slot, idx) };
+      { r.clear(ctx, slot) };
+      { r.retire(ctx, idx) };
+      { r.flush(ctx) };
+      { r.name() } -> std::convertible_to<const char*>;
+    };
+
+// ---------------------------------------------------------------------------
+// Negative control: immediate free, no protection. Mirrors PR 1's
+// planted-bug pattern — an SMR test harness that cannot catch THIS reclaimer
+// proves nothing about the real ones. Under ASan the very first protected
+// read after a concurrent retire trips use-after-poison (the allocator
+// poisons on free); under TSan the racing payload write of the block's next
+// owner is a report; in plain builds tests observe the torn value directly.
+// ---------------------------------------------------------------------------
+class UnsafeImmediateReclaimer {
+ public:
+  struct ThreadCtx {};
+
+  explicit UnsafeImmediateReclaimer(FreeFn free_fn)
+      : free_(std::move(free_fn)) {}
+
+  // Uniform (max_threads, free_fn) shape so containers templated over a
+  // Reclaimer can construct any policy the same way.
+  UnsafeImmediateReclaimer(unsigned /*max_threads*/, FreeFn free_fn)
+      : free_(std::move(free_fn)) {}
+
+  ThreadCtx make_ctx() { return {}; }
+  void enter(ThreadCtx&) {}
+  void exit(ThreadCtx&) {}
+  void protect(ThreadCtx&, unsigned, std::uint32_t) {}  // the lie
+  void clear(ThreadCtx&, unsigned) {}
+
+  void retire(ThreadCtx&, std::uint32_t idx) {
+    stats::count(stats::Id::kNodeRetire, 1, this);
+    stats::count(stats::Id::kNodeFree, 1, this);
+    free_(idx);  // no grace period: this is the bug
+  }
+
+  void flush(ThreadCtx&) {}
+  const char* name() const { return "unsafe-immediate(negative-control)"; }
+
+ private:
+  FreeFn free_;
+};
+
+static_assert(Reclaimer<UnsafeImmediateReclaimer>);
+
+}  // namespace moir::reclaim

@@ -31,6 +31,11 @@ const char* name(Id id) {
     case Id::kStmCommit: return "stm_commit";
     case Id::kStmAbort: return "stm_abort";
     case Id::kStmHelp: return "stm_help";
+    case Id::kEpochAdvance: return "epoch_advance";
+    case Id::kHpScan: return "hp_scan";
+    case Id::kNodeRetire: return "node_retire";
+    case Id::kNodeFree: return "node_free";
+    case Id::kAllocExhaustion: return "alloc_exhaustion";
     case Id::kNumIds: break;
   }
   return "unknown";
@@ -40,6 +45,7 @@ const char* name(HistId id) {
   switch (id) {
     case HistId::kScRetries: return "sc_retries";
     case HistId::kStmAbortsPerCommit: return "stm_aborts_per_commit";
+    case HistId::kRetireListLen: return "retire_list_len";
     case HistId::kNumHistIds: break;
   }
   return "unknown";

@@ -73,6 +73,11 @@ enum class Id : std::uint8_t {
   kStmCommit,     // STM transaction committed
   kStmAbort,      // STM transaction aborted and retried
   kStmHelp,       // STM helped another transaction's ownership record
+  kEpochAdvance,  // EBR global epoch advanced (all threads caught up)
+  kHpScan,        // hazard-pointer scan pass over all announcement slots
+  kNodeRetire,    // a node was retired to a reclaimer (unlinked, not freed)
+  kNodeFree,      // a retired node's grace period elapsed and it was freed
+  kAllocExhaustion,  // block allocator pool empty at alloc()
   kNumIds
 };
 
@@ -82,6 +87,8 @@ inline constexpr unsigned kNumCounters = static_cast<unsigned>(Id::kNumIds);
 enum class HistId : std::uint8_t {
   kScRetries,           // RSC retries per SC/Cas operation (Figs 3, 5)
   kStmAbortsPerCommit,  // aborts a transaction suffered before committing
+  kRetireListLen,       // reclaimer retire-list length at each retire();
+                        // the merged max is the high-water mark
   kNumHistIds
 };
 

@@ -1,0 +1,85 @@
+// Key-distribution generators for the YCSB-style map workloads.
+//
+// YCSB's zipfian generator (Gray et al.'s "Quickly generating billion-record
+// synthetic databases" rejection-free inverse-CDF approximation) with the
+// standard skew theta = 0.99, plus a scrambled variant so the popular keys
+// are spread across the keyspace instead of clustered at 0 — without the
+// scramble, every hot key would land in the same few map shards and the
+// bench would measure shard-0 contention rather than the advertised skew.
+//
+// Deterministic given (n, theta, rng seed); the O(n) zeta sum is computed
+// once at construction, so keep n to bench-sized keyspaces (<= a few
+// million).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/assertion.hpp"
+#include "util/rng.hpp"
+
+namespace moir {
+
+class ZipfianGenerator {
+ public:
+  explicit ZipfianGenerator(std::uint64_t n, double theta = 0.99)
+      : n_(n), theta_(theta) {
+    MOIR_ASSERT(n >= 1);
+    for (std::uint64_t i = 1; i <= n; ++i) {
+      zetan_ += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    zeta2_ = 1.0 + std::pow(0.5, theta);
+    alpha_ = 1.0 / (1.0 - theta);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+
+  // Rank in [0, n), rank 0 most popular.
+  std::uint64_t next(Xoshiro256& rng) const {
+    const double u = rng.next_double();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < zeta2_) return 1;
+    const std::uint64_t rank = static_cast<std::uint64_t>(
+        static_cast<double>(n_) *
+        std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return rank >= n_ ? n_ - 1 : rank;
+  }
+
+  // Rank hashed into [0, n): the YCSB "scrambled zipfian". Same frequency
+  // distribution, popular keys scattered over the keyspace.
+  std::uint64_t next_scrambled(Xoshiro256& rng) const {
+    return hash_rank(next(rng)) % n_;
+  }
+
+  double theta() const { return theta_; }
+
+ private:
+  static std::uint64_t hash_rank(std::uint64_t x) {
+    // SplitMix64 finalizer (also util/rng.hpp): full avalanche, cheap.
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+  std::uint64_t n_;
+  double theta_;
+  double zetan_ = 0.0;
+  double zeta2_ = 0.0;
+  double alpha_ = 0.0;
+  double eta_ = 0.0;
+};
+
+// Uniform over [0, n) — the unskewed control the zipfian runs compare to.
+class UniformGenerator {
+ public:
+  explicit UniformGenerator(std::uint64_t n) : n_(n) { MOIR_ASSERT(n >= 1); }
+  std::uint64_t next(Xoshiro256& rng) const { return rng.next_below(n_); }
+
+ private:
+  std::uint64_t n_;
+};
+
+}  // namespace moir

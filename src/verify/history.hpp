@@ -18,6 +18,11 @@ enum class OpKind : std::uint8_t {
   kSc,    // arg: new value    ret: 0/1
   kCas,   // arg: packed old/new (see CasRegisterSpec)  ret: 0/1
   kRead,  // arg: unused       ret: value read
+  // Map operations (see MapSpec for the arg/ret packing).
+  kMapInsert,  // arg: key<<32|value  ret: 1 inserted / 0 already present
+  kMapErase,   // arg: key            ret: 1 erased / 0 absent
+  kMapFind,    // arg: key            ret: value+1 found / 0 absent
+  kMapUpsert,  // arg: key<<32|value  ret: 1 inserted / 0 updated in place
 };
 
 struct Operation {

@@ -97,4 +97,71 @@ struct CasRegisterSpec {
   }
 };
 
+// Sequential map over a tiny fixed key universe, for checking the sharded
+// hash map's histories. Keys are 0..kMaxKeys-1 and values fit 32 bits —
+// exploration trials use single-digit key spaces, where the fixed array
+// keeps State copies (which the checker makes per DFS node) trivially
+// cheap. Packing matches the OpKind comments in history.hpp: find's ret is
+// value+1 so 0 can mean "absent" unambiguously.
+struct MapSpec {
+  static constexpr unsigned kMaxKeys = 8;
+
+  struct State {
+    // slot k = value+1 of key k; 0 = absent.
+    std::uint64_t v[kMaxKeys] = {};
+
+    friend bool operator==(const State&, const State&) = default;
+  };
+
+  static std::uint64_t pack_args(std::uint64_t key, std::uint64_t value) {
+    return key << 32 | value;
+  }
+
+  static std::uint64_t hash(const State& s) {
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (const std::uint64_t x : s.v) {
+      h ^= x + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+
+  static std::optional<State> apply(const State& s, const Operation& op) {
+    State next = s;
+    switch (op.kind) {
+      case OpKind::kMapInsert: {
+        const std::uint64_t key = op.arg >> 32;
+        if (key >= kMaxKeys) return std::nullopt;
+        const bool absent = s.v[key] == 0;
+        if (op.ret != static_cast<std::uint64_t>(absent)) return std::nullopt;
+        if (absent) next.v[key] = (op.arg & 0xffffffffu) + 1;
+        return next;
+      }
+      case OpKind::kMapUpsert: {
+        const std::uint64_t key = op.arg >> 32;
+        if (key >= kMaxKeys) return std::nullopt;
+        const bool absent = s.v[key] == 0;
+        if (op.ret != static_cast<std::uint64_t>(absent)) return std::nullopt;
+        next.v[key] = (op.arg & 0xffffffffu) + 1;
+        return next;
+      }
+      case OpKind::kMapErase: {
+        if (op.arg >= kMaxKeys) return std::nullopt;
+        const bool present = s.v[op.arg] != 0;
+        if (op.ret != static_cast<std::uint64_t>(present)) {
+          return std::nullopt;
+        }
+        next.v[op.arg] = 0;
+        return next;
+      }
+      case OpKind::kMapFind: {
+        if (op.arg >= kMaxKeys) return std::nullopt;
+        if (op.ret != s.v[op.arg]) return std::nullopt;
+        return next;
+      }
+      default:
+        return std::nullopt;
+    }
+  }
+};
+
 }  // namespace moir

@@ -1,0 +1,267 @@
+// Sharded non-blocking hash map: sequential semantics, chain (collision)
+// behaviour, pool exhaustion, conservation after churn, multi-threaded
+// stress on both reclaimer policies, and a PCT-scheduled linearizability
+// check against the sequential MapSpec.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "core/llsc_traits.hpp"
+#include "map/sharded_map.hpp"
+#include "reclaim/epoch.hpp"
+#include "reclaim/hazard.hpp"
+#include "sim/explore.hpp"
+#include "stats/stats.hpp"
+#include "util/env.hpp"
+#include "util/rng.hpp"
+#include "verify/history.hpp"
+#include "verify/linearizability.hpp"
+#include "verify/spec.hpp"
+
+namespace moir {
+namespace {
+
+using reclaim::EpochReclaimer;
+using reclaim::HazardPointerReclaimer;
+using Sub = CasBackedLlsc<16>;
+
+template <class R>
+using Map = ShardedHashMap<Sub, R>;
+
+template <class R>
+void basic_semantics() {
+  Sub sub;
+  Map<R> map(sub, 2, {.shards = 4, .buckets_per_shard = 8,
+                      .capacity_per_shard = 64});
+  auto ctx = map.make_ctx();
+
+  EXPECT_EQ(map.size_approx(), 0);
+  EXPECT_FALSE(map.find(ctx, 1).has_value());
+  EXPECT_FALSE(map.erase(ctx, 1));
+
+  EXPECT_TRUE(map.insert(ctx, 1, 100));
+  EXPECT_FALSE(map.insert(ctx, 1, 999)) << "duplicate insert must fail";
+  EXPECT_EQ(map.find(ctx, 1), std::optional<std::uint64_t>(100))
+      << "failed insert must not clobber";
+
+  EXPECT_FALSE(map.upsert(ctx, 1, 200)) << "upsert on present key = update";
+  EXPECT_EQ(map.find(ctx, 1), std::optional<std::uint64_t>(200));
+  EXPECT_TRUE(map.upsert(ctx, 2, 300)) << "upsert on absent key = insert";
+  EXPECT_EQ(map.size_approx(), 2);
+
+  EXPECT_TRUE(map.erase(ctx, 1));
+  EXPECT_FALSE(map.erase(ctx, 1));
+  EXPECT_FALSE(map.find(ctx, 1).has_value());
+  EXPECT_TRUE(map.contains(ctx, 2));
+  EXPECT_EQ(map.size_approx(), 1);
+}
+
+TEST(ShardedMap, BasicSemanticsEpoch) { basic_semantics<EpochReclaimer>(); }
+TEST(ShardedMap, BasicSemanticsHazard) {
+  basic_semantics<HazardPointerReclaimer>();
+}
+
+// One shard, one bucket: every key shares a chain, exercising the sorted
+// Harris-list insert/erase/help-unlink paths directly.
+TEST(ShardedMap, SingleChainCollisions) {
+  Sub sub;
+  Map<EpochReclaimer> map(sub, 2, {.shards = 1, .buckets_per_shard = 1,
+                                   .capacity_per_shard = 64});
+  auto ctx = map.make_ctx();
+  for (std::uint64_t k = 0; k < 20; ++k) {
+    ASSERT_TRUE(map.insert(ctx, k * 7, k));
+  }
+  // Erase from the middle, front, and back of the (sorted) chain.
+  EXPECT_TRUE(map.erase(ctx, 7 * 10));
+  EXPECT_TRUE(map.erase(ctx, 0));
+  EXPECT_TRUE(map.erase(ctx, 7 * 19));
+  for (std::uint64_t k = 0; k < 20; ++k) {
+    const bool gone = k == 10 || k == 0 || k == 19;
+    EXPECT_EQ(map.find(ctx, k * 7).has_value(), !gone) << "key " << k * 7;
+  }
+  EXPECT_EQ(map.size_approx(), 17);
+}
+
+TEST(ShardedMap, PoolExhaustionSurfacesAsFailedInsert) {
+  Sub sub;
+  Map<EpochReclaimer> map(sub, 2, {.shards = 1, .buckets_per_shard = 4,
+                                   .capacity_per_shard = 8});
+  auto ctx = map.make_ctx();
+  unsigned inserted = 0;
+  for (std::uint64_t k = 0; k < 64 && map.insert(ctx, k, k); ++k) ++inserted;
+  EXPECT_EQ(inserted, 8u);
+  EXPECT_FALSE(map.insert(ctx, 999, 1));
+  EXPECT_TRUE(map.erase(ctx, 0));
+  map.purge(ctx);  // retire -> free so the block is reusable
+  EXPECT_TRUE(map.insert(ctx, 999, 1));
+}
+
+template <class R>
+void churn_conservation() {
+  Sub sub;
+  Map<R> map(sub, 2, {.shards = 2, .buckets_per_shard = 4,
+                      .capacity_per_shard = 128});
+  auto ctx = map.make_ctx();
+  Xoshiro256 rng(base_seed());
+  for (std::uint64_t i = 0; i < scaled_budget(20000); ++i) {
+    const std::uint64_t k = rng.next_below(64);
+    switch (rng.next_below(4)) {
+      case 0: (void)map.insert(ctx, k, i); break;
+      case 1: (void)map.upsert(ctx, k, i); break;
+      case 2: (void)map.erase(ctx, k); break;
+      default: (void)map.find(ctx, k); break;
+    }
+  }
+  for (std::uint64_t k = 0; k < 64; ++k) (void)map.erase(ctx, k);
+  map.purge(ctx);
+  EXPECT_EQ(map.size_approx(), 0);
+  EXPECT_EQ(map.free_blocks_quiescent(), 2u * 128u)
+      << "blocks leaked through the retire path";
+}
+
+TEST(ShardedMap, ChurnConservesBlocksEpoch) {
+  churn_conservation<EpochReclaimer>();
+}
+TEST(ShardedMap, ChurnConservesBlocksHazard) {
+  churn_conservation<HazardPointerReclaimer>();
+}
+
+// ---------------------------------------------------------------------
+// ReclaimStress.Map*: free-running multi-threaded churn (the tsan/asan
+// preset filter matches these). Values are derived from keys so any
+// cross-key payload corruption — the bug SMR exists to prevent — is
+// visible as a checksum mismatch even without a sanitizer.
+// ---------------------------------------------------------------------
+template <class R>
+void map_stress() {
+  Sub sub;
+  auto map = std::make_unique<Map<R>>(
+      sub, 8, typename Map<R>::Config{.shards = 4, .buckets_per_shard = 8,
+                                      .capacity_per_shard = 256});
+  constexpr std::uint64_t kKeys = 128;
+  const std::uint64_t ops = scaled_budget(20000);
+  std::atomic<std::uint64_t> mismatches{0};
+  std::vector<std::thread> pool;
+  for (unsigned t = 0; t < 4; ++t) {
+    pool.emplace_back([&, t] {
+      auto ctx = map->make_ctx();
+      Xoshiro256 rng(base_seed() + 97 * t);
+      std::uint64_t local_mismatch = 0;
+      for (std::uint64_t i = 0; i < ops; ++i) {
+        const std::uint64_t k = rng.next_below(kKeys);
+        switch (rng.next_below(4)) {
+          case 0: (void)map->insert(ctx, k, k * 31 + 7); break;
+          case 1: (void)map->upsert(ctx, k, k * 31 + 7); break;
+          case 2: (void)map->erase(ctx, k); break;
+          default:
+            if (const auto v = map->find(ctx, k)) {
+              local_mismatch += (*v != k * 31 + 7);
+            }
+        }
+      }
+      mismatches.fetch_add(local_mismatch);
+    });
+  }
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(mismatches.load(), 0u)
+      << "found a value under the wrong key: use-after-free payload reuse";
+
+  auto ctx = map->make_ctx();
+  for (std::uint64_t k = 0; k < kKeys; ++k) (void)map->erase(ctx, k);
+  map->purge(ctx);
+  EXPECT_EQ(map->size_approx(), 0);
+  EXPECT_EQ(map->free_blocks_quiescent(), 4u * 256u);
+}
+
+TEST(ReclaimStress, MapEpoch) { map_stress<EpochReclaimer>(); }
+TEST(ReclaimStress, MapHazard) { map_stress<HazardPointerReclaimer>(); }
+
+// ---------------------------------------------------------------------
+// Linearizability under the PCT scheduler, on the adversarial config (one
+// shard, ONE bucket, so every operation contends on a single chain). Three
+// threads, nine operations over three keys; every recorded history must
+// linearize against MapSpec.
+// ---------------------------------------------------------------------
+TEST(ShardedMap, PctLinearizable) {
+  auto make_trial = [] {
+    struct Shared {
+      Sub sub;
+      Map<EpochReclaimer> map{sub, 4,
+                              {.shards = 1, .buckets_per_shard = 1,
+                               .capacity_per_shard = 16}};
+      HistoryRecorder rec{3};
+      std::vector<typename Map<EpochReclaimer>::ThreadCtx> ctxs;
+    };
+    auto sh = std::make_shared<Shared>();
+    sh->ctxs.reserve(3);
+    for (int t = 0; t < 3; ++t) sh->ctxs.push_back(sh->map.make_ctx());
+
+    testing::ScheduleExplorer::Trial trial;
+    auto run = [sh](unsigned t, OpKind kind, std::uint64_t key,
+                    std::uint64_t val) {
+      auto& ctx = sh->ctxs[t];
+      const auto inv = sh->rec.now();
+      std::uint64_t arg = 0, ret = 0;
+      switch (kind) {
+        case OpKind::kMapInsert:
+          arg = MapSpec::pack_args(key, val);
+          ret = sh->map.insert(ctx, key, val);
+          break;
+        case OpKind::kMapUpsert:
+          arg = MapSpec::pack_args(key, val);
+          ret = sh->map.upsert(ctx, key, val);
+          break;
+        case OpKind::kMapErase:
+          arg = key;
+          ret = sh->map.erase(ctx, key);
+          break;
+        default: {
+          arg = key;
+          const auto v = sh->map.find(ctx, key);
+          ret = v ? *v + 1 : 0;
+        }
+      }
+      sh->rec.add(t, t, kind, arg, ret, inv);
+    };
+    trial.bodies.push_back([run] {
+      run(0, OpKind::kMapInsert, 0, 10);
+      run(0, OpKind::kMapFind, 1, 0);
+      run(0, OpKind::kMapErase, 0, 0);
+    });
+    trial.bodies.push_back([run] {
+      run(1, OpKind::kMapInsert, 1, 11);
+      run(1, OpKind::kMapUpsert, 0, 20);
+      run(1, OpKind::kMapFind, 2, 0);
+    });
+    trial.bodies.push_back([run] {
+      run(2, OpKind::kMapInsert, 2, 12);
+      run(2, OpKind::kMapErase, 1, 0);
+      run(2, OpKind::kMapFind, 0, 0);
+    });
+    trial.check = [sh] {
+      LinearizabilityChecker<MapSpec> checker;
+      return checker.check(sh->rec.collect(), MapSpec::State{});
+    };
+    return trial;
+  };
+
+  const testing::PctOptions opts{
+      .runs = scaled_budget(40),
+      .depth = 3,
+      .change_range = 96,
+      .seed = base_seed() + 11,
+  };
+  const auto r = testing::ScheduleExplorer::pct_explore(make_trial, opts);
+  EXPECT_FALSE(r.violation_found)
+      << "non-linearizable map history under schedule "
+      << r.schedule_string();
+  EXPECT_EQ(r.trials, opts.runs);
+}
+
+}  // namespace
+}  // namespace moir

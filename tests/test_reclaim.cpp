@@ -1,0 +1,550 @@
+// Safe-memory-reclamation layer: the block allocator, both real reclaimer
+// policies, the deliberately broken negative control, and the reclaimed
+// stack/queue variants built on them.
+//
+// The tests are organized around the PR-1 planted-bug principle: a harness
+// that cannot distinguish the UnsafeImmediateReclaimer from the real
+// policies proves nothing. Deterministic tests pin down the deferral
+// semantics (a "protected"/epoch-pinned block is NOT freed under the real
+// policies and IS freed under the broken one); under AddressSanitizer the
+// broken policy is additionally a hard use-after-poison death.
+//
+// ReclaimStress.* are the multi-threaded churn tests the tsan/asan presets
+// filter on. They end with the conservation check "every block came home"
+// (free_count_quiescent == capacity), which is the leak test in every build
+// — ASan's leak checker only backstops the backing arrays.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/llsc_traits.hpp"
+#include "nonblocking/ms_queue.hpp"
+#include "nonblocking/treiber_stack.hpp"
+#include "reclaim/block_allocator.hpp"
+#include "reclaim/epoch.hpp"
+#include "reclaim/hazard.hpp"
+#include "reclaim/reclaimer.hpp"
+#include "stats/stats.hpp"
+#include "util/env.hpp"
+#include "util/rng.hpp"
+#include "util/thread_utils.hpp"
+
+namespace moir {
+namespace {
+
+using reclaim::BlockAllocator;
+using reclaim::EpochReclaimer;
+using reclaim::HazardPointerReclaimer;
+using reclaim::UnsafeImmediateReclaimer;
+
+struct TestNode {
+  std::uint64_t value = 0;
+};
+
+// ---------------------------------------------------------------------
+// Block allocator.
+// ---------------------------------------------------------------------
+
+TEST(BlockAllocator, AllocAllThenExhaust) {
+  BlockAllocator<TestNode> alloc(4);
+  std::set<std::uint32_t> got;
+  for (int i = 0; i < 4; ++i) {
+    const auto idx = alloc.alloc();
+    ASSERT_TRUE(idx.has_value());
+    EXPECT_LT(*idx, 4u);
+    got.insert(*idx);
+  }
+  EXPECT_EQ(got.size(), 4u) << "duplicate index handed out";
+  EXPECT_FALSE(alloc.alloc().has_value()) << "empty pool must not alloc";
+  EXPECT_EQ(alloc.free_count_quiescent(), 0u);
+  for (const std::uint32_t idx : got) alloc.free(idx);
+  EXPECT_EQ(alloc.free_count_quiescent(), 4u);
+  EXPECT_TRUE(alloc.alloc().has_value());
+}
+
+TEST(BlockAllocator, InitRunsOnEveryBlock) {
+  std::uint32_t inits = 0;
+  BlockAllocator<TestNode> alloc(8, [&](TestNode& n) {
+    n.value = 42;
+    ++inits;
+  });
+  EXPECT_EQ(inits, 8u);
+  const auto idx = alloc.alloc();
+  ASSERT_TRUE(idx.has_value());
+  EXPECT_EQ(alloc.node(*idx).value, 42u);
+}
+
+TEST(BlockAllocator, ExhaustionIsCounted) {
+  if (!stats::kCompiledIn || !stats::counting_enabled()) {
+    GTEST_SKIP() << "stats disabled";
+  }
+  BlockAllocator<TestNode> alloc(1);
+  (void)alloc.alloc();
+  const auto before = stats::snapshot();
+  (void)alloc.alloc();  // fails
+  const auto delta = stats::snapshot() - before;
+  EXPECT_EQ(delta[stats::Id::kAllocExhaustion], 1u);
+}
+
+TEST(BlockAllocator, ConcurrentChurnConservesBlocks) {
+  constexpr std::uint32_t kCap = 64;
+  constexpr unsigned kThreads = 4;
+  BlockAllocator<TestNode> alloc(kCap);
+  const std::uint64_t ops = scaled_budget(20000);
+  std::vector<std::thread> pool;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      Xoshiro256 rng(base_seed() + t);
+      std::vector<std::uint32_t> held;
+      for (std::uint64_t i = 0; i < ops; ++i) {
+        if (held.empty() || rng.chance(1, 2)) {
+          if (const auto idx = alloc.alloc()) held.push_back(*idx);
+        } else {
+          const std::size_t k = rng.next_below(held.size());
+          alloc.free(held[k]);
+          held[k] = held.back();
+          held.pop_back();
+        }
+      }
+      for (const std::uint32_t idx : held) alloc.free(idx);
+    });
+  }
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(alloc.free_count_quiescent(), kCap);
+}
+
+// ---------------------------------------------------------------------
+// Deferral semantics, deterministically. A single test thread plays both
+// roles (reader and reclaimer) through two ThreadCtxs, so the outcome is
+// schedule-independent.
+// ---------------------------------------------------------------------
+
+TEST(EpochReclaimer, ActiveReaderBlocksReclamation) {
+  std::vector<std::uint32_t> freed;
+  EpochReclaimer r(4, [&](std::uint32_t idx) { freed.push_back(idx); },
+                   /*retire_threshold=*/1);
+  auto reader = r.make_ctx();
+  auto writer = r.make_ctx();
+
+  r.enter(reader);  // reader pinned in the current epoch
+  r.enter(writer);
+  r.retire(writer, 5);
+  r.exit(writer);
+  r.flush(writer);
+  EXPECT_TRUE(freed.empty())
+      << "freed under an active reader pinned in the retire epoch";
+
+  r.exit(reader);  // reader leaves; grace period can now elapse
+  r.flush(writer);
+  ASSERT_EQ(freed.size(), 1u);
+  EXPECT_EQ(freed[0], 5u);
+}
+
+TEST(EpochReclaimer, EpochAdvancesAreCounted) {
+  if (!stats::kCompiledIn || !stats::counting_enabled()) {
+    GTEST_SKIP() << "stats disabled";
+  }
+  EpochReclaimer r(2, [](std::uint32_t) {});
+  auto ctx = r.make_ctx();
+  const auto before = stats::snapshot();
+  const std::uint64_t e0 = r.epoch();
+  r.flush(ctx);  // 3 advance attempts, all unobstructed
+  const auto delta = stats::snapshot() - before;
+  EXPECT_GE(r.epoch(), e0 + 3);
+  EXPECT_GE(delta[stats::Id::kEpochAdvance], 3u);
+}
+
+TEST(EpochReclaimer, ThreadExitFoldsLimboToOrphans) {
+  std::vector<std::uint32_t> freed;
+  EpochReclaimer r(4, [&](std::uint32_t idx) { freed.push_back(idx); });
+  {
+    auto dying = r.make_ctx();
+    r.enter(dying);
+    r.retire(dying, 9);
+    r.exit(dying);
+  }  // fold: limbo parked as orphans, then advanced/drained
+  auto ctx = r.make_ctx();
+  r.flush(ctx);
+  ASSERT_EQ(freed.size(), 1u);
+  EXPECT_EQ(freed[0], 9u);
+}
+
+TEST(HazardPointer, ProtectedBlockSurvivesScan) {
+  std::vector<std::uint32_t> freed;
+  HazardPointerReclaimer r(4, [&](std::uint32_t idx) { freed.push_back(idx); },
+                           /*slots_per_thread=*/2, /*scan_threshold=*/1);
+  auto reader = r.make_ctx();
+  auto writer = r.make_ctx();
+
+  r.protect(reader, 0, 7);
+  r.retire(writer, 7);  // threshold 1: scans immediately
+  r.retire(writer, 8);
+  EXPECT_EQ(freed, (std::vector<std::uint32_t>{8}))
+      << "scan must free exactly the unannounced retiree";
+
+  r.clear(reader, 0);
+  r.flush(writer);
+  EXPECT_EQ(freed, (std::vector<std::uint32_t>{8, 7}));
+  if (stats::kCompiledIn && stats::counting_enabled()) {
+    // At least the two explicit scans above happened.
+    EXPECT_GE(stats::snapshot()[stats::Id::kHpScan], 2u);
+  }
+}
+
+TEST(HazardPointer, ExitClearsAllSlots) {
+  std::vector<std::uint32_t> freed;
+  HazardPointerReclaimer r(4, [&](std::uint32_t idx) { freed.push_back(idx); },
+                           3, 1);
+  auto reader = r.make_ctx();
+  auto writer = r.make_ctx();
+  r.protect(reader, 0, 1);
+  r.protect(reader, 1, 2);
+  r.protect(reader, 2, 3);
+  r.exit(reader);
+  r.retire(writer, 1);
+  r.retire(writer, 2);
+  r.retire(writer, 3);
+  r.flush(writer);
+  EXPECT_EQ(freed.size(), 3u);
+}
+
+TEST(HazardPointer, DyingThreadRetirementsAreAdopted) {
+  std::vector<std::uint32_t> freed;
+  HazardPointerReclaimer r(4, [&](std::uint32_t idx) { freed.push_back(idx); },
+                           2, /*scan_threshold=*/100);
+  auto reader = r.make_ctx();
+  r.protect(reader, 0, 3);
+  {
+    auto dying = r.make_ctx();
+    r.retire(dying, 3);  // protected: survives the fold's scan, parked
+  }
+  EXPECT_TRUE(freed.empty());
+  r.clear(reader, 0);
+  r.flush(reader);  // adopts the orphan and frees it
+  EXPECT_EQ(freed, (std::vector<std::uint32_t>{3}));
+}
+
+// ---------------------------------------------------------------------
+// Negative control. The broken policy ignores protection — the defining
+// difference the detectors must be able to see.
+// ---------------------------------------------------------------------
+
+TEST(NegativeControl, UnsafeReclaimerFreesWhileProtected) {
+  std::vector<std::uint32_t> freed;
+  UnsafeImmediateReclaimer r(4,
+                             [&](std::uint32_t idx) { freed.push_back(idx); });
+  auto reader = r.make_ctx();
+  auto writer = r.make_ctx();
+  r.enter(reader);
+  r.protect(reader, 0, 7);  // the lie: no policy state changes
+  r.retire(writer, 7);
+  EXPECT_EQ(freed, (std::vector<std::uint32_t>{7}))
+      << "the negative control is supposed to free immediately; if this "
+         "fails the control is no longer broken and the detector tests "
+         "are vacuous";
+  r.exit(reader);
+}
+
+#if MOIR_ASAN && defined(GTEST_HAS_DEATH_TEST)
+// Under ASan the allocator poisons freed blocks, so the exact bug the real
+// policies prevent — reading a block after a broken reclaimer freed it —
+// is a deterministic use-after-poison abort, not silent reuse.
+TEST(NegativeControlDeathTest, UseAfterImmediateFreeTripsAsan) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ASSERT_DEATH(
+      {
+        BlockAllocator<TestNode> alloc(4);
+        UnsafeImmediateReclaimer r(
+            2, [&](std::uint32_t idx) { alloc.free(idx); });
+        auto reader = r.make_ctx();
+        auto writer = r.make_ctx();
+        const auto idx = alloc.alloc();
+        alloc.node(*idx).value = 1;
+        r.enter(reader);
+        r.protect(reader, 0, *idx);  // ignored by the broken policy
+        r.retire(writer, *idx);      // freed (and poisoned) immediately
+        // The "protected" read the reclaimer concept promises is safe:
+        volatile std::uint64_t v = alloc.node(*idx).value;
+        (void)v;
+      },
+      "use-after-poison");
+}
+
+// Control for the control: the same sequence under a REAL policy must not
+// die — protection defers the free past the read.
+TEST(NegativeControlDeathTest, HazardPointerKeepsTheSameReadAlive) {
+  BlockAllocator<TestNode> alloc(4);
+  HazardPointerReclaimer r(2, [&](std::uint32_t idx) { alloc.free(idx); }, 2,
+                           1);
+  auto reader = r.make_ctx();
+  auto writer = r.make_ctx();
+  const auto idx = alloc.alloc();
+  alloc.node(*idx).value = 1;
+  r.enter(reader);
+  r.protect(reader, 0, *idx);
+  r.retire(writer, *idx);  // scans, sees the announcement, keeps the block
+  EXPECT_EQ(alloc.node(*idx).value, 1u);
+  r.clear(reader, 0);
+  r.exit(reader);
+  r.flush(writer);
+  EXPECT_EQ(alloc.free_count_quiescent(), 4u);
+}
+#endif  // MOIR_ASAN && GTEST_HAS_DEATH_TEST
+
+// Opt-in (never run by any preset): free-running concurrent churn on the
+// broken reclaimer, for demonstrating that TSan reports the payload race
+// and ASan the use-after-poison. MOIR_RUN_BROKEN_RECLAIMER=1 to run; the
+// process is EXPECTED to die or report under sanitizers.
+TEST(NegativeControl, BrokenReclaimerChurnOptIn) {
+  if (!env_flag("MOIR_RUN_BROKEN_RECLAIMER", false)) {
+    GTEST_SKIP() << "set MOIR_RUN_BROKEN_RECLAIMER=1 (under a sanitizer) "
+                    "to run the broken-reclaimer churn";
+  }
+  CasBackedLlsc<16> sub;
+  ReclaimedTreiberStack<CasBackedLlsc<16>, UnsafeImmediateReclaimer> stack(
+      sub, 4, 128);
+  std::vector<std::thread> pool;
+  for (unsigned t = 0; t < 4; ++t) {
+    pool.emplace_back([&, t] {
+      auto ctx = stack.make_ctx();
+      Xoshiro256 rng(base_seed() + t);
+      for (std::uint64_t i = 0; i < scaled_budget(50000); ++i) {
+        if (rng.chance(1, 2)) {
+          (void)stack.push(ctx, rng.next());
+        } else {
+          (void)stack.pop(ctx);
+        }
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+}
+
+// ---------------------------------------------------------------------
+// Reclaimed Treiber stack / M&S queue, single-threaded semantics plus the
+// conservation (leak) check, on both policies and two substrates.
+// ---------------------------------------------------------------------
+
+template <class Stack>
+void stack_semantics(Stack& stack) {
+  auto ctx = stack.make_ctx();
+  EXPECT_TRUE(stack.empty());
+  for (std::uint64_t v = 1; v <= 10; ++v) EXPECT_TRUE(stack.push(ctx, v));
+  for (std::uint64_t v = 10; v >= 1; --v) {
+    const auto got = stack.pop(ctx);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, v);
+  }
+  EXPECT_FALSE(stack.pop(ctx).has_value());
+  EXPECT_TRUE(stack.empty());
+  stack.flush(ctx);
+  EXPECT_EQ(stack.free_blocks_quiescent(), stack.capacity())
+      << "retired nodes did not all come home (leak)";
+}
+
+TEST(ReclaimedStack, LifoAndConservationEpoch) {
+  CasBackedLlsc<16> sub;
+  ReclaimedTreiberStack<CasBackedLlsc<16>, EpochReclaimer> stack(sub, 2, 32);
+  stack_semantics(stack);
+}
+
+TEST(ReclaimedStack, LifoAndConservationHazard) {
+  CasBackedLlsc<16> sub;
+  ReclaimedTreiberStack<CasBackedLlsc<16>, HazardPointerReclaimer> stack(
+      sub, 2, 32);
+  stack_semantics(stack);
+}
+
+TEST(ReclaimedStack, WorksOnRllSubstrate) {
+  RllBackedLlsc<16> sub;
+  ReclaimedTreiberStack<RllBackedLlsc<16>, EpochReclaimer> stack(sub, 2, 32);
+  stack_semantics(stack);
+}
+
+TEST(ReclaimedStack, ExhaustionIncludesLimbo) {
+  // With a high EBR threshold and no flush, popped nodes sit in limbo, so
+  // a full push sweep right after popping everything can fail — that is
+  // the documented backpressure, not a bug. flush() makes room again.
+  CasBackedLlsc<16> sub;
+  ReclaimedTreiberStack<CasBackedLlsc<16>, EpochReclaimer> stack(sub, 2, 8);
+  auto ctx = stack.make_ctx();
+  for (int v = 0; v < 8; ++v) EXPECT_TRUE(stack.push(ctx, v));
+  EXPECT_FALSE(stack.push(ctx, 99));
+  for (int v = 0; v < 8; ++v) ASSERT_TRUE(stack.pop(ctx).has_value());
+  stack.flush(ctx);
+  EXPECT_TRUE(stack.push(ctx, 1));
+}
+
+template <class Queue>
+void queue_semantics(Queue& queue) {
+  auto ctx = queue.make_ctx();
+  EXPECT_TRUE(queue.empty());
+  for (std::uint64_t v = 1; v <= 10; ++v) EXPECT_TRUE(queue.enqueue(ctx, v));
+  for (std::uint64_t v = 1; v <= 10; ++v) {
+    const auto got = queue.dequeue(ctx);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, v);
+  }
+  EXPECT_FALSE(queue.dequeue(ctx).has_value());
+  queue.flush(ctx);
+  // One block is always held as the current dummy.
+  EXPECT_EQ(queue.free_blocks_quiescent(), 32u - 1u);
+}
+
+TEST(ReclaimedQueue, FifoAndConservationEpoch) {
+  CasBackedLlsc<16> sub;
+  ReclaimedMsQueue<CasBackedLlsc<16>, EpochReclaimer> queue(sub, 2, 32);
+  queue_semantics(queue);
+}
+
+TEST(ReclaimedQueue, FifoAndConservationHazard) {
+  CasBackedLlsc<16> sub;
+  ReclaimedMsQueue<CasBackedLlsc<16>, HazardPointerReclaimer> queue(sub, 2,
+                                                                    32);
+  queue_semantics(queue);
+}
+
+// ---------------------------------------------------------------------
+// ReclaimStress: multi-threaded churn. The tsan preset and the asan
+// preset both filter on this name. Each run checks (a) per-element
+// integrity via a checksum, (b) conservation after draining, and (c) the
+// retire-list high-water mark stayed bounded.
+// ---------------------------------------------------------------------
+
+// HWM bound rationale: HP keeps at most (announcements possibly missed +
+// threshold) entries across a scan, so threshold + N*K + slack is a real
+// invariant. EBR's list is only amortized-bounded (an advance can be
+// blocked for as long as a thread sits preempted inside a critical
+// section, single-core worst case), so its bound is a generous regression
+// tripwire, not a theorem.
+void check_retire_hwm(std::uint64_t bound) {
+  if (!stats::kCompiledIn || !stats::counting_enabled()) return;
+  const Histogram h = stats::merged_histogram(stats::HistId::kRetireListLen);
+  if (h.count() == 0) return;  // another suite reset stats; nothing to check
+  EXPECT_LE(h.max(), bound) << "retire-list high-water mark unbounded?";
+}
+
+template <class Stack>
+void stack_stress(Stack& stack, unsigned threads, std::uint64_t ops) {
+  std::atomic<std::uint64_t> pushed{0};
+  std::atomic<std::uint64_t> popped{0};
+  std::vector<std::thread> pool;
+  for (unsigned t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      auto ctx = stack.make_ctx();
+      Xoshiro256 rng(base_seed() + 31 * t);
+      std::uint64_t my_pushed = 0, my_popped = 0;
+      for (std::uint64_t i = 0; i < ops; ++i) {
+        if (rng.chance(1, 2)) {
+          my_pushed += stack.push(ctx, (std::uint64_t{t} << 32) | i);
+        } else {
+          my_popped += stack.pop(ctx).has_value();
+        }
+      }
+      pushed.fetch_add(my_pushed);
+      popped.fetch_add(my_popped);
+    });
+  }
+  for (auto& th : pool) th.join();
+
+  auto ctx = stack.make_ctx();
+  std::uint64_t drained = 0;
+  while (stack.pop(ctx).has_value()) ++drained;
+  EXPECT_EQ(popped.load() + drained, pushed.load());
+  stack.flush(ctx);
+  EXPECT_EQ(stack.free_blocks_quiescent(), stack.capacity());
+}
+
+TEST(ReclaimStress, StackEpoch) {
+  stats::reset();
+  CasBackedLlsc<16> sub;
+  ReclaimedTreiberStack<CasBackedLlsc<16>, EpochReclaimer> stack(sub, 8, 256);
+  const std::uint64_t ops = scaled_budget(20000);
+  stack_stress(stack, 4, ops);
+  check_retire_hwm(4 * ops);
+}
+
+TEST(ReclaimStress, StackHazard) {
+  stats::reset();
+  CasBackedLlsc<16> sub;
+  ReclaimedTreiberStack<CasBackedLlsc<16>, HazardPointerReclaimer> stack(
+      sub, 8, 256);
+  stack_stress(stack, 4, scaled_budget(20000));
+  // threshold(2*8*3+16=64) + N*K(24) + adopted orphans slack
+  check_retire_hwm(64 + 24 + 64);
+}
+
+TEST(ReclaimStress, QueueEpoch) {
+  stats::reset();
+  CasBackedLlsc<16> sub;
+  ReclaimedMsQueue<CasBackedLlsc<16>, EpochReclaimer> queue(sub, 8, 256);
+  const std::uint64_t ops = scaled_budget(20000);
+  std::atomic<std::uint64_t> enq{0}, deq{0};
+  std::vector<std::thread> pool;
+  for (unsigned t = 0; t < 4; ++t) {
+    pool.emplace_back([&, t] {
+      auto ctx = queue.make_ctx();
+      Xoshiro256 rng(base_seed() + 7 * t);
+      std::uint64_t my_enq = 0, my_deq = 0;
+      for (std::uint64_t i = 0; i < ops; ++i) {
+        if (rng.chance(1, 2)) {
+          my_enq += queue.enqueue(ctx, i);
+        } else {
+          my_deq += queue.dequeue(ctx).has_value();
+        }
+      }
+      enq.fetch_add(my_enq);
+      deq.fetch_add(my_deq);
+    });
+  }
+  for (auto& th : pool) th.join();
+  auto ctx = queue.make_ctx();
+  std::uint64_t drained = 0;
+  while (queue.dequeue(ctx).has_value()) ++drained;
+  EXPECT_EQ(deq.load() + drained, enq.load());
+  queue.flush(ctx);
+  EXPECT_EQ(queue.free_blocks_quiescent(), 256u - 1u);
+  check_retire_hwm(4 * ops);
+}
+
+TEST(ReclaimStress, QueueHazard) {
+  stats::reset();
+  CasBackedLlsc<16> sub;
+  ReclaimedMsQueue<CasBackedLlsc<16>, HazardPointerReclaimer> queue(sub, 8,
+                                                                    256);
+  const std::uint64_t ops = scaled_budget(20000);
+  std::vector<std::thread> pool;
+  std::atomic<std::uint64_t> enq{0}, deq{0};
+  for (unsigned t = 0; t < 4; ++t) {
+    pool.emplace_back([&, t] {
+      auto ctx = queue.make_ctx();
+      Xoshiro256 rng(base_seed() + 13 * t);
+      std::uint64_t my_enq = 0, my_deq = 0;
+      for (std::uint64_t i = 0; i < ops; ++i) {
+        if (rng.chance(1, 2)) {
+          my_enq += queue.enqueue(ctx, i);
+        } else {
+          my_deq += queue.dequeue(ctx).has_value();
+        }
+      }
+      enq.fetch_add(my_enq);
+      deq.fetch_add(my_deq);
+    });
+  }
+  for (auto& th : pool) th.join();
+  auto ctx = queue.make_ctx();
+  std::uint64_t drained = 0;
+  while (queue.dequeue(ctx).has_value()) ++drained;
+  EXPECT_EQ(deq.load() + drained, enq.load());
+  queue.flush(ctx);
+  EXPECT_EQ(queue.free_blocks_quiescent(), 256u - 1u);
+  check_retire_hwm(64 + 24 + 64);
+}
+
+}  // namespace
+}  // namespace moir

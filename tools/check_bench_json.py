@@ -26,7 +26,8 @@ REQUIRED_COUNTERS = [
     "sc_success", "sc_fail", "cas_success", "cas_fail", "rsc_retry",
     "rsc_spurious", "rsc_conflict", "tag_alloc", "tag_recycle",
     "tag_exhaustion", "help_rounds", "word_copies", "stm_commit",
-    "stm_abort", "stm_help",
+    "stm_abort", "stm_help", "epoch_advance", "hp_scan", "node_retire",
+    "node_free", "alloc_exhaustion",
 ]
 REQUIRED_RUN = ["name", "threads", "ops", "secs", "ns_per_op", "mops",
                 "latency_ns", "counters"]
