@@ -16,11 +16,13 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -124,14 +126,19 @@ struct RunStats {
 
 class Harness {
  public:
-  // Strips harness flags (--json) from argv so google-benchmark's own
-  // Initialize never sees them.
+  // Strips harness flags (--json, --duration-ms=N, --warmup-ms=N) from
+  // argv so google-benchmark's own Initialize never sees them.
   Harness(int& argc, char** argv, std::string bench_name)
       : bench_name_(std::move(bench_name)) {
     int out = 1;
     for (int i = 1; i < argc; ++i) {
-      if (std::string(argv[i]) == "--json") {
+      const std::string arg(argv[i]);
+      if (arg == "--json") {
         json_stdout_ = true;
+      } else if (arg.rfind("--duration-ms=", 0) == 0) {
+        duration_ms_override_ = parse_ms(arg);
+      } else if (arg.rfind("--warmup-ms=", 0) == 0) {
+        warmup_ms_override_ = parse_ms(arg);
       } else {
         argv[out++] = argv[i];
       }
@@ -151,6 +158,19 @@ class Harness {
   bool micro() const { return !json_stdout_ && !smoke_; }
 
   bool json_to_stdout() const { return json_stdout_; }
+
+  // Time-bounded runs (open/closed-loop benches): the bench passes its
+  // defaults, the command line (--duration-ms=N / --warmup-ms=N) wins when
+  // present. Smoke/quick scaling applies to the DEFAULT only — an explicit
+  // flag is taken literally.
+  std::uint64_t duration_ms(std::uint64_t def) const {
+    if (duration_ms_override_ != 0) return duration_ms_override_;
+    return scale_ms(def);
+  }
+  std::uint64_t warmup_ms(std::uint64_t def) const {
+    if (warmup_ms_override_ != 0) return warmup_ms_override_;
+    return scale_ms(def);
+  }
 
   void header(const char* experiment, const char* claim) {
     if (experiment_.empty()) {
@@ -203,6 +223,72 @@ class Harness {
     return runs_.back();
   }
 
+  // Time-bounded variant of run_ops for duration-driven workloads: every
+  // thread calls `op(thread_index, op_index)` in a loop until the
+  // coordinator flips the stop flag after `duration_ms` of measured time
+  // (preceded by `warmup_ms` of executed-but-uncounted warmup). Same 1-in-
+  // 64 latency sampling as run_ops. The phase word is checked between ops,
+  // so `op` must be an individual operation, not a long batch.
+  template <class Op>
+  const RunStats& run_timed(std::string name, unsigned threads,
+                            std::uint64_t duration_ms,
+                            std::uint64_t warmup_ms, Op&& op) {
+    // 0=warmup 1=measure 2=stop; workers watch it between operations.
+    std::atomic<int> phase{warmup_ms == 0 ? 1 : 0};
+    std::vector<Histogram> hists(threads);
+    std::vector<std::uint64_t> ops_done(threads, 0);
+    const stats::Snapshot before = stats::snapshot();
+    double measured_secs = 0.0;
+    SpinBarrier ready(threads + 1);
+    SpinBarrier go(threads + 1);
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+      pool.emplace_back([&, t] {
+        ready.arrive_and_wait();
+        go.arrive_and_wait();
+        Histogram& h = hists[t];
+        std::uint64_t i = 0;
+        std::uint64_t counted = 0;
+        int p;
+        while ((p = phase.load(std::memory_order_acquire)) != 2) {
+          const bool measuring = p == 1;
+          if ((i & 63) == 0) {
+            Stopwatch sample;
+            op(t, i);
+            if (measuring) h.record(sample.elapsed_ns());
+          } else {
+            op(t, i);
+          }
+          ++i;
+          counted += measuring ? 1 : 0;
+        }
+        ops_done[t] = counted;
+      });
+    }
+    ready.arrive_and_wait();
+    go.arrive_and_wait();
+    if (warmup_ms > 0) {
+      sleep_ms(warmup_ms);
+      phase.store(1, std::memory_order_release);
+    }
+    Stopwatch timer;
+    sleep_ms(duration_ms);
+    measured_secs = timer.elapsed_s();
+    phase.store(2, std::memory_order_release);
+    for (auto& th : pool) th.join();
+
+    RunStats run;
+    run.name = std::move(name);
+    run.threads = threads;
+    for (const std::uint64_t n : ops_done) run.ops += n;
+    run.secs = measured_secs;
+    for (const Histogram& h : hists) run.latency_ns.merge(h);
+    run.counters = stats::snapshot() - before;
+    runs_.push_back(std::move(run));
+    return runs_.back();
+  }
+
   // Record a section measured outside run_ops (irregular loops that keep
   // their own timed_threads call). No latency histogram; still captures
   // throughput for the JSON report.
@@ -213,6 +299,22 @@ class Harness {
     run.threads = threads;
     run.ops = ops;
     run.secs = secs;
+    runs_.push_back(std::move(run));
+    return runs_.back();
+  }
+
+  // add_run variant for self-measured loops that collected their own
+  // latency histogram (e.g. open-loop arrival-to-completion latencies,
+  // which run_ops' service-time sampling cannot express).
+  const RunStats& add_run(std::string name, unsigned threads,
+                          std::uint64_t ops, double secs,
+                          Histogram latency_ns) {
+    RunStats run;
+    run.name = std::move(name);
+    run.threads = threads;
+    run.ops = ops;
+    run.secs = secs;
+    run.latency_ns = std::move(latency_ns);
     runs_.push_back(std::move(run));
     return runs_.back();
   }
@@ -303,6 +405,29 @@ class Harness {
   }
 
  private:
+  static std::uint64_t parse_ms(const std::string& arg) {
+    const auto eq = arg.find('=');
+    const long long v = std::atoll(arg.c_str() + eq + 1);
+    return v > 0 ? static_cast<std::uint64_t>(v) : 0;
+  }
+
+  static void sleep_ms(std::uint64_t ms) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  }
+
+  // Same spirit as scaled(): smoke runs divide durations by 20, quick by
+  // 5, floored at 10ms so phases stay observable.
+  std::uint64_t scale_ms(std::uint64_t def) const {
+    if (def == 0) return 0;
+    std::uint64_t v = def;
+    if (smoke_) {
+      v = def / 20;
+    } else if (quick_) {
+      v = def / 5;
+    }
+    return v < 10 ? 10 : v;
+  }
+
   std::string bench_name_;
   std::string experiment_;
   std::string claim_;
@@ -310,6 +435,8 @@ class Harness {
   std::string json_path_;
   bool quick_ = false;
   bool smoke_ = false;
+  std::uint64_t duration_ms_override_ = 0;
+  std::uint64_t warmup_ms_override_ = 0;
   std::vector<RunStats> runs_;
   std::vector<Table> tables_;
   std::vector<std::pair<std::string, double>> metrics_;

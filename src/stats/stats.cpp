@@ -36,6 +36,10 @@ const char* name(Id id) {
     case Id::kNodeRetire: return "node_retire";
     case Id::kNodeFree: return "node_free";
     case Id::kAllocExhaustion: return "alloc_exhaustion";
+    case Id::kSvcEnqueue: return "svc_enqueue";
+    case Id::kSvcBatch: return "svc_batch";
+    case Id::kSvcShed: return "svc_shed";
+    case Id::kSvcDrain: return "svc_drain";
     case Id::kNumIds: break;
   }
   return "unknown";
@@ -46,6 +50,8 @@ const char* name(HistId id) {
     case HistId::kScRetries: return "sc_retries";
     case HistId::kStmAbortsPerCommit: return "stm_aborts_per_commit";
     case HistId::kRetireListLen: return "retire_list_len";
+    case HistId::kSvcBatchSize: return "batch_size";
+    case HistId::kSvcLatency: return "svc_latency";
     case HistId::kNumHistIds: break;
   }
   return "unknown";

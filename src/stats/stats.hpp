@@ -78,6 +78,10 @@ enum class Id : std::uint8_t {
   kNodeRetire,    // a node was retired to a reclaimer (unlinked, not freed)
   kNodeFree,      // a retired node's grace period elapsed and it was freed
   kAllocExhaustion,  // block allocator pool empty at alloc()
+  kSvcEnqueue,    // service accepted a request into the dispatch pipeline
+  kSvcBatch,      // executor batch (>= 1 request) popped and executed
+  kSvcShed,       // request refused at admission (EBUSY) instead of blocking
+  kSvcDrain,      // request completed during graceful drain (after stop())
   kNumIds
 };
 
@@ -89,6 +93,8 @@ enum class HistId : std::uint8_t {
   kStmAbortsPerCommit,  // aborts a transaction suffered before committing
   kRetireListLen,       // reclaimer retire-list length at each retire();
                         // the merged max is the high-water mark
+  kSvcBatchSize,        // requests executed per non-empty executor batch
+  kSvcLatency,          // ns from admission to response publication
   kNumHistIds
 };
 

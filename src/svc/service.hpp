@@ -1,0 +1,455 @@
+// KvService: the wait-free request pipeline over the sharded map.
+//
+//   client --(SPSC ring, 1 per session)--> router --+
+//   client --------(direct dispatch)----------------+--> per-shard MPMC
+//                                                        MS-queues (LL/SC
+//                                                        + Reclaimer)
+//                                                   workers pop batches of
+//                                                   <= B, execute on the
+//                                                   ShardedHashMap, publish
+//                                                   seqlock responses the
+//                                                   clients poll
+//
+// End-to-end progress argument (docs/SERVICE.md has the long form): no
+// stage ever waits for another stage inside an operation. Admission either
+// takes a free ticket or returns EBUSY (shed) immediately; ring push either
+// succeeds or sheds; the router either enqueues or completes the ticket
+// with kOverload; queue and map operations are lock-free through the
+// paper's LL/SC; response publication is a single release store. The only
+// waiting in the subsystem is *voluntary* (wait() spinning on a ticket the
+// caller chose to block on, idle workers between pumps), through the
+// futex-free SpinWait.
+//
+// Sessions reuse the ProcessRegistry slot discipline: connect() leases a
+// dense session id whose preallocated SessionState (ticket slots + ring)
+// is recycled across connects; ticket-slot generations are monotonic per
+// slot across reuse, so a stale done word can never match a fresh ticket.
+//
+// Shutdown contract: stop() flips draining (subsequent submits shed), then
+// drains rings and queues so every ALREADY-SUBMITTED ticket completes
+// (counted as svc_drain), then joins. Callers must stop submitting before
+// calling stop() concurrently with in-flight submits — the graceful-drain
+// guarantee covers requests, not racing admission calls.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/llsc_traits.hpp"
+#include "core/process_registry.hpp"
+#include "map/sharded_map.hpp"
+#include "platform/yield_point.hpp"
+#include "reclaim/reclaimer.hpp"
+#include "stats/stats.hpp"
+#include "svc/dispatcher.hpp"
+#include "svc/spsc_ring.hpp"
+#include "util/assertion.hpp"
+#include "util/stopwatch.hpp"
+
+namespace moir::svc {
+
+template <SmallLlscSubstrate S, reclaim::Reclaimer R>
+class KvService {
+ public:
+  using Map = ShardedHashMap<S, R>;
+  using Disp = Dispatcher<S, R>;
+
+  struct Config {
+    unsigned queues = 4;                 // dispatch shards
+    std::uint32_t queue_capacity = 1024; // nodes per shard queue
+    unsigned workers = 2;                // 0 = manual pump (tests)
+    unsigned batch = 16;                 // B: max requests per executor pop
+    unsigned max_sessions = 8;           // concurrent clients
+    std::uint32_t tickets_per_session = 64;  // in-flight window W
+    std::uint32_t ring_capacity = 64;
+    // Ingress mode: true = client -> ring -> router -> shard queue (the
+    // full pipeline), false = client enqueues into the shard queue itself.
+    bool use_rings = true;
+    typename Map::Config map{};
+  };
+
+  struct Ticket {
+    std::uint32_t slot = 0;
+    std::uint64_t gen = 0;
+  };
+
+  // Move-only session handle; destruction disconnects. One per client
+  // thread — submit/poll on a ClientCtx are single-threaded.
+  class ClientCtx {
+   public:
+    ClientCtx(ClientCtx&& o) noexcept : svc_(o.svc_), sid_(o.sid_) {
+      o.svc_ = nullptr;
+    }
+    ClientCtx& operator=(ClientCtx&& o) noexcept {
+      if (this != &o) {
+        release();
+        svc_ = o.svc_;
+        sid_ = o.sid_;
+        o.svc_ = nullptr;
+      }
+      return *this;
+    }
+    ClientCtx(const ClientCtx&) = delete;
+    ClientCtx& operator=(const ClientCtx&) = delete;
+    ~ClientCtx() { release(); }
+
+    unsigned session() const { return sid_; }
+
+   private:
+    friend class KvService;
+    ClientCtx(KvService* svc, unsigned sid) : svc_(svc), sid_(sid) {}
+    void release() {
+      if (svc_ != nullptr) svc_->disconnect(sid_);
+      svc_ = nullptr;
+    }
+
+    KvService* svc_ = nullptr;
+    unsigned sid_ = 0;
+  };
+
+  // Executor-side contexts; one per worker (or per manual pumper).
+  struct WorkerCtx {
+    typename Disp::ThreadCtx dctx;
+    typename Map::ThreadCtx mctx;
+    std::vector<std::uint64_t> buf;  // batch buffer, cfg.batch entries
+    unsigned rotor = 0;              // round-robin start shard
+  };
+
+  explicit KvService(S& substrate, Config cfg = {})
+      : cfg_(cfg),
+        // Concurrent ThreadCtx holders across the shard-queue reclaimers
+        // and the map reclaimer: one per session, one per worker, the
+        // router, and slack for a manual pumper / preloader.
+        max_threads_(cfg.max_sessions + cfg.workers + 2),
+        disp_(substrate, max_threads_, cfg.queues, cfg.queue_capacity),
+        map_(substrate, max_threads_, cfg.map),
+        session_reg_(cfg.max_sessions) {
+    MOIR_ASSERT(cfg_.batch >= 1 && cfg_.queues >= 1);
+    MOIR_ASSERT(cfg_.tickets_per_session >= 1 && cfg_.max_sessions >= 1);
+    sessions_.reserve(cfg_.max_sessions);
+    for (unsigned i = 0; i < cfg_.max_sessions; ++i) {
+      sessions_.push_back(std::make_unique<SessionState>(cfg_));
+    }
+    if (cfg_.workers > 0) {
+      if (cfg_.use_rings) {
+        router_ = std::thread([this] { router_main(); });
+      }
+      threads_.reserve(cfg_.workers);
+      for (unsigned w = 0; w < cfg_.workers; ++w) {
+        threads_.emplace_back([this] { worker_main(); });
+      }
+    }
+  }
+
+  ~KvService() { stop(); }
+
+  KvService(const KvService&) = delete;
+  KvService& operator=(const KvService&) = delete;
+
+  const Config& config() const { return cfg_; }
+
+  // ----- Client API --------------------------------------------------------
+
+  ClientCtx connect() {
+    const unsigned sid = session_reg_.register_process();
+    SessionState& ss = *sessions_[sid];
+    ss.free.clear();
+    for (std::uint32_t i = cfg_.tickets_per_session; i > 0; --i) {
+      ss.free.push_back(i - 1);
+    }
+    ss.dctx = disp_.make_ctx();
+    ss.live.store(true, std::memory_order_release);
+    return ClientCtx(this, sid);
+  }
+
+  // Admission + enqueue. Returns the ticket to poll, or nullopt (EBUSY)
+  // when the request is shed: service draining, the per-session in-flight
+  // window is exhausted, the session ring is full, or (direct mode) the
+  // shard queue's node pool is exhausted. Never blocks.
+  std::optional<Ticket> submit(ClientCtx& c, Op op, std::uint64_t key,
+                               std::uint64_t value = 0) {
+    SessionState& ss = *sessions_[c.sid_];
+    if (draining_.load(std::memory_order_acquire) || ss.free.empty()) {
+      stats::count(stats::Id::kSvcShed);
+      return std::nullopt;
+    }
+    const std::uint32_t slot = ss.free.back();
+    TicketSlot& ts = ss.slots[slot];
+    ts.key = key;
+    ts.value = value;
+    ts.op = op;
+    ts.gen += 1;
+    ts.submit_ns = stats::counting_enabled() ? clock_.elapsed_ns() : 0;
+    const std::uint64_t handle = make_handle(c.sid_, slot);
+    const bool ok = cfg_.use_rings ? ss.ring->try_push(handle)
+                                   : disp_.enqueue(ss.dctx, key, handle);
+    if (!ok) {
+      // The slot was never published; the gen bump is harmless and the
+      // ticket stays free.
+      stats::count(stats::Id::kSvcShed);
+      return std::nullopt;
+    }
+    ss.free.pop_back();
+    stats::count(stats::Id::kSvcEnqueue);
+    return Ticket{slot, ts.gen};
+  }
+
+  // Non-blocking completion check. Consumes the ticket on success: the
+  // slot returns to the window and the Ticket must not be reused.
+  std::optional<Response> poll(ClientCtx& c, const Ticket& t) {
+    SessionState& ss = *sessions_[c.sid_];
+    TicketSlot& ts = ss.slots[t.slot];
+    MOIR_YIELD_READ(&ts.done);
+    if (ts.done.load(std::memory_order_acquire) != t.gen) {
+      return std::nullopt;
+    }
+    const Response r{ts.resp_status, ts.resp_value};
+    ss.free.push_back(t.slot);
+    return r;
+  }
+
+  // Voluntary blocking on one ticket: spin-then-yield until complete. Only
+  // meaningful while workers (or a manual pumper on another thread) run.
+  Response wait(ClientCtx& c, const Ticket& t) {
+    SpinWait sw;
+    for (;;) {
+      if (auto r = poll(c, t)) return *r;
+      sw.pause();
+    }
+  }
+
+  // ----- Executor API (workers call these; tests/benches may pump
+  // manually when cfg.workers == 0) ----------------------------------------
+
+  WorkerCtx make_worker_ctx() {
+    WorkerCtx w{disp_.make_ctx(), map_.make_ctx(),
+                std::vector<std::uint64_t>(cfg_.batch), 0};
+    return w;
+  }
+
+  typename Disp::ThreadCtx make_router_ctx() { return disp_.make_ctx(); }
+
+  // One pass over the shard queues: pops up to B handles per queue under a
+  // single reclaimer bracket each, executes them against the map, and
+  // publishes responses. Returns requests completed. `obs(handle,
+  // response)` fires after the map operation and before the publication —
+  // the test harness's completion timestamp hook.
+  template <class Observer>
+  unsigned pump(WorkerCtx& w, Observer&& obs) {
+    unsigned total = 0;
+    const unsigned nq = disp_.queue_count();
+    for (unsigned i = 0; i < nq; ++i) {
+      const unsigned q = (w.rotor + i) % nq;
+      const unsigned k = disp_.pop_batch(w.dctx, q, w.buf.data(), cfg_.batch);
+      if (k == 0) continue;
+      stats::count(stats::Id::kSvcBatch);
+      stats::record(stats::HistId::kSvcBatchSize, k);
+      for (unsigned j = 0; j < k; ++j) execute(w, w.buf[j], obs);
+      total += k;
+    }
+    w.rotor = nq == 0 ? 0 : (w.rotor + 1) % nq;
+    return total;
+  }
+
+  unsigned pump(WorkerCtx& w) {
+    return pump(w, [](std::uint64_t, const Response&) {});
+  }
+
+  // Route one session's ring into the shard queues. The ring is SPSC —
+  // its consumer must be unique, which the service's own router thread
+  // guarantees; manual pumpers (tests with cfg.workers == 0) must likewise
+  // dedicate one pumper per session. A full shard queue completes the
+  // ticket with kOverload right here — shedding, not blocking, so a
+  // stalled executor cannot wedge the router. At most one ring's capacity
+  // is moved per call.
+  template <class Observer>
+  unsigned pump_session(typename Disp::ThreadCtx& rc, unsigned sid,
+                        Observer&& obs) {
+    SessionState& ss = *sessions_[sid];
+    const std::uint32_t burst = ss.ring->capacity();
+    unsigned moved = 0;
+    for (std::uint32_t i = 0; i < burst; ++i) {
+      std::uint64_t handle;
+      if (!ss.ring->try_pop(handle)) break;
+      TicketSlot& ts = ss.slots[handle_slot(handle)];
+      if (!disp_.enqueue(rc, ts.key, handle)) {
+        stats::count(stats::Id::kSvcShed);
+        complete(ts, Response{Status::kOverload, 0}, handle, obs);
+      }
+      ++moved;
+    }
+    return moved;
+  }
+
+  unsigned pump_session(typename Disp::ThreadCtx& rc, unsigned sid) {
+    return pump_session(rc, sid, [](std::uint64_t, const Response&) {});
+  }
+
+  // One pass over all live session rings (the router thread's loop body).
+  template <class Observer>
+  unsigned pump_router(typename Disp::ThreadCtx& rc, Observer&& obs) {
+    unsigned moved = 0;
+    for (unsigned sid = 0; sid < cfg_.max_sessions; ++sid) {
+      if (!sessions_[sid]->live.load(std::memory_order_acquire)) continue;
+      moved += pump_session(rc, sid, obs);
+    }
+    return moved;
+  }
+
+  unsigned pump_router(typename Disp::ThreadCtx& rc) {
+    return pump_router(rc, [](std::uint64_t, const Response&) {});
+  }
+
+  bool queues_empty() const { return disp_.all_empty(); }
+
+  // Direct map access for preload and post-run inspection AROUND measured
+  // sections — not a bypass of the pipeline during one.
+  Map& map() { return map_; }
+  typename Map::ThreadCtx make_map_ctx() { return map_.make_ctx(); }
+
+  // ----- Shutdown ----------------------------------------------------------
+
+  // Graceful drain: refuse new admissions, finish every submitted request,
+  // stop the threads. Idempotent. See the shutdown contract above.
+  void stop() {
+    if (stopped_) return;
+    stopped_ = true;
+    draining_.store(true, std::memory_order_release);
+    stop_router_.store(true, std::memory_order_release);
+    if (router_.joinable()) router_.join();
+    stop_workers_.store(true, std::memory_order_release);
+    for (auto& t : threads_) t.join();
+    threads_.clear();
+  }
+
+  bool draining() const {
+    return draining_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct SessionState {
+    explicit SessionState(const Config& cfg)
+        : slots(std::make_unique<TicketSlot[]>(cfg.tickets_per_session)),
+          ring(std::make_unique<SpscRing>(cfg.ring_capacity)) {
+      free.reserve(cfg.tickets_per_session);
+    }
+
+    std::unique_ptr<TicketSlot[]> slots;
+    std::unique_ptr<SpscRing> ring;
+    std::vector<std::uint32_t> free;  // client-thread-private ticket stack
+    typename Disp::ThreadCtx dctx;    // client-thread-only (direct mode)
+    std::atomic<bool> live{false};
+  };
+
+  void disconnect(unsigned sid) {
+    SessionState& ss = *sessions_[sid];
+    MOIR_ASSERT_MSG(ss.free.size() == cfg_.tickets_per_session,
+                    "disconnect with in-flight or unconsumed tickets");
+    ss.live.store(false, std::memory_order_release);
+    ss.dctx = typename Disp::ThreadCtx{};  // fold queue reclaimer state
+    session_reg_.release_process(sid);
+  }
+
+  template <class Observer>
+  void execute(WorkerCtx& w, std::uint64_t handle, Observer&& obs) {
+    SessionState& ss = *sessions_[handle_session(handle)];
+    TicketSlot& ts = ss.slots[handle_slot(handle)];
+    Response r;
+    switch (ts.op) {
+      case Op::kFind: {
+        const auto v = map_.find(w.mctx, ts.key);
+        r.status = v ? Status::kOk : Status::kNotFound;
+        r.value = v.value_or(0);
+        break;
+      }
+      case Op::kInsert:
+        r.status = map_.insert(w.mctx, ts.key, ts.value) ? Status::kOk
+                                                         : Status::kNotFound;
+        break;
+      case Op::kUpsert:
+        r.status = map_.upsert(w.mctx, ts.key, ts.value) ? Status::kOk
+                                                         : Status::kNotFound;
+        break;
+      case Op::kErase:
+        r.status =
+            map_.erase(w.mctx, ts.key) ? Status::kOk : Status::kNotFound;
+        break;
+    }
+    complete(ts, r, handle, obs);
+  }
+
+  template <class Observer>
+  void complete(TicketSlot& ts, const Response& r, std::uint64_t handle,
+                Observer&& obs) {
+    ts.resp_value = r.value;
+    ts.resp_status = r.status;
+    if (ts.submit_ns != 0 && stats::counting_enabled()) {
+      stats::record(stats::HistId::kSvcLatency,
+                    clock_.elapsed_ns() - ts.submit_ns);
+    }
+    if (draining_.load(std::memory_order_relaxed)) {
+      stats::count(stats::Id::kSvcDrain);
+    }
+    // The observer runs before the publication: once done==gen the client
+    // may consume and resubmit the slot, so nothing reads ts afterwards.
+    obs(handle, r);
+    MOIR_YIELD_WRITE(&ts.done);
+    ts.done.store(ts.gen, std::memory_order_release);
+  }
+
+  void worker_main() {
+    WorkerCtx w = make_worker_ctx();
+    SpinWait sw;
+    for (;;) {
+      if (pump(w) > 0) {
+        sw.reset();
+        continue;
+      }
+      if (stop_workers_.load(std::memory_order_acquire) &&
+          disp_.all_empty()) {
+        break;
+      }
+      sw.pause();
+    }
+  }
+
+  void router_main() {
+    auto rc = disp_.make_ctx();
+    SpinWait sw;
+    for (;;) {
+      if (pump_router(rc) > 0) {
+        sw.reset();
+        continue;
+      }
+      // stop_router_ is set after draining_, so once it is visible no new
+      // ring entries can appear (submits shed) and an empty pass is final.
+      if (stop_router_.load(std::memory_order_acquire)) break;
+      sw.pause();
+    }
+  }
+
+  const Config cfg_;
+  const unsigned max_threads_;
+  Stopwatch clock_;  // latency origin for the svc_latency histogram
+  // Declaration order is destruction-critical: sessions_ (whose dctx folds
+  // into the queue reclaimers) must die before disp_, and every ThreadCtx
+  // (worker ctxs die at thread exit, before the joins in stop()) before
+  // disp_/map_.
+  Disp disp_;
+  Map map_;
+  ProcessRegistry session_reg_;
+  std::vector<std::unique_ptr<SessionState>> sessions_;
+  std::thread router_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stop_router_{false};
+  std::atomic<bool> stop_workers_{false};
+  bool stopped_ = false;
+};
+
+}  // namespace moir::svc

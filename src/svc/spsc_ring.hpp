@@ -1,0 +1,137 @@
+// Cache-line-padded fixed-capacity SPSC ring + futex-free waiting.
+//
+// One ring per client session carries request handles from the client
+// (single producer) to the service's router (single consumer). The
+// single-producer/single-consumer discipline makes the ring wait-free with
+// plain acquire/release atomics: each side owns its index, only reads the
+// other's, and caches the remote index to avoid touching the shared line
+// on most operations (the Lamport ring with index caching, in the spirit
+// of the fixed-size slot structures of Blelloch & Wei's constant-time
+// LL/SC constructions — no allocation, no unbounded tags).
+//
+// Nothing ever blocks in here: try_push/try_pop fail immediately when
+// full/empty and the caller decides (the service sheds, the router moves
+// to the next session). SpinWait below is the one waiting policy the
+// subsystem uses when a caller *chooses* to wait (client wait(), idle
+// workers): bounded spinning with a CPU relax hint, then
+// std::this_thread::yield() — never a futex or mutex, so a preempted peer
+// can always be scheduled and progress remains a scheduler property, not
+// a lock-holder property.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+
+#include "platform/yield_point.hpp"
+#include "util/assertion.hpp"
+#include "util/cache.hpp"
+
+namespace moir::svc {
+
+// Spin-then-yield backoff. pause() spins kSpinLimit times with a pipeline
+// relax hint, then yields the rest of the quantum to whoever can make
+// progress — on oversubscribed hosts (this repo's single-core CI box) the
+// yield path is what keeps a waiting client from starving the worker it
+// waits on.
+class SpinWait {
+ public:
+  static constexpr unsigned kSpinLimit = 64;
+
+  void pause() {
+    if (++spins_ <= kSpinLimit) {
+      relax();
+    } else {
+      std::this_thread::yield();
+    }
+  }
+
+  void reset() { spins_ = 0; }
+
+  static void relax() {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#else
+    std::this_thread::yield();
+#endif
+  }
+
+ private:
+  unsigned spins_ = 0;
+};
+
+// Fixed-capacity single-producer/single-consumer ring of uint64 handles.
+// Capacity is rounded up to a power of two; indices are free-running and
+// masked, so full/empty never needs a spare slot or a separate count.
+class SpscRing {
+ public:
+  explicit SpscRing(std::uint32_t capacity)
+      : mask_(round_up_pow2(capacity) - 1),
+        slots_(std::make_unique<std::uint64_t[]>(mask_ + 1)) {}
+
+  std::uint32_t capacity() const { return mask_ + 1; }
+
+  // Producer side. Returns false when the ring is full.
+  bool try_push(std::uint64_t v) {
+    const std::uint64_t tail = tail_.idx.load(std::memory_order_relaxed);
+    if (tail - tail_.cached_other > mask_) {
+      // Looks full: refresh the cached head and re-check.
+      MOIR_YIELD_READ(&head_.idx);
+      tail_.cached_other = head_.idx.load(std::memory_order_acquire);
+      if (tail - tail_.cached_other > mask_) return false;
+    }
+    slots_[tail & mask_] = v;
+    MOIR_YIELD_STEP(::moir::testing::StepInfo::write(&tail_.idx)
+                        .also_write(&slots_[tail & mask_]));
+    tail_.idx.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side. Returns false when the ring is empty.
+  bool try_pop(std::uint64_t& out) {
+    const std::uint64_t head = head_.idx.load(std::memory_order_relaxed);
+    if (head == head_.cached_other) {
+      MOIR_YIELD_READ(&tail_.idx);
+      head_.cached_other = tail_.idx.load(std::memory_order_acquire);
+      if (head == head_.cached_other) return false;
+    }
+    out = slots_[head & mask_];
+    MOIR_YIELD_STEP(::moir::testing::StepInfo::write(&head_.idx)
+                        .also_read(&slots_[head & mask_]));
+    head_.idx.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer-side occupancy estimate (exact when the producer is quiet).
+  std::uint32_t size_approx() const {
+    return static_cast<std::uint32_t>(
+        tail_.idx.load(std::memory_order_acquire) -
+        head_.idx.load(std::memory_order_acquire));
+  }
+
+  bool empty_approx() const { return size_approx() == 0; }
+
+ private:
+  // Each end gets its own cache line: the free-running index it owns plus
+  // its private cache of the other end's index. The producer therefore
+  // dirties only the tail line, the consumer only the head line.
+  struct alignas(kCacheLine) End {
+    std::atomic<std::uint64_t> idx{0};
+    std::uint64_t cached_other = 0;
+  };
+
+  static std::uint32_t round_up_pow2(std::uint32_t v) {
+    MOIR_ASSERT_MSG(v >= 1 && v <= (1u << 30), "ring capacity out of range");
+    std::uint32_t p = 1;
+    while (p < v) p <<= 1;
+    return p;
+  }
+
+  const std::uint32_t mask_;
+  std::unique_ptr<std::uint64_t[]> slots_;
+  End head_;  // consumer-owned
+  End tail_;  // producer-owned
+};
+
+}  // namespace moir::svc

@@ -41,6 +41,40 @@ std::uint64_t Histogram::quantile(double q) const {
   return max_;
 }
 
+double Histogram::percentile(double q) const {
+  if (n_ == 0) return 0.0;
+  if (!(q >= 0.0)) q = 0.0;  // also catches NaN
+  // The top rank is the recorded maximum exactly; interpolating inside the
+  // final non-empty bucket would report its lower edge instead.
+  if (q >= 1.0) return static_cast<double>(max_);
+  const double target = q * static_cast<double>(n_ - 1);
+  std::uint64_t seen = 0;
+  for (unsigned b = 0; b <= kBuckets; ++b) {
+    const std::uint64_t c = counts_[b];
+    if (c == 0) continue;
+    if (target < static_cast<double>(seen + c)) {
+      // Bucket b spans (bucket_upper(b-1), bucket_upper(b)]; clamp both
+      // edges to the observed range so single-bucket histograms (and the
+      // overflow bucket, whose nominal bound is ~0) report real values.
+      double lo = b == 0 ? 0.0 : static_cast<double>(bucket_upper(b - 1)) + 1;
+      double hi = static_cast<double>(
+          bucket_upper(b) < max_ ? bucket_upper(b) : max_);
+      const double mn = static_cast<double>(min());
+      if (lo < mn) lo = mn;
+      if (hi < lo) hi = lo;
+      // Rank r may fall between this bucket's last value and the next
+      // bucket's first; clamping keeps the result inside this bucket.
+      double frac = c == 1 ? 0.0
+                           : (target - static_cast<double>(seen)) /
+                                 static_cast<double>(c - 1);
+      if (frac > 1.0) frac = 1.0;
+      return lo + frac * (hi - lo);
+    }
+    seen += c;
+  }
+  return static_cast<double>(max_);
+}
+
 std::string Histogram::render(const std::string& unit) const {
   std::string out;
   char line[160];
@@ -86,7 +120,11 @@ std::string Histogram::to_json() const {
       .kv("max", max_)
       .kv("p50", quantile(0.50))
       .kv("p90", quantile(0.90))
-      .kv("p99", quantile(0.99));
+      .kv("p99", quantile(0.99))
+      .kv("p50i", percentile(0.50))
+      .kv("p95", percentile(0.95))
+      .kv("p99i", percentile(0.99))
+      .kv("p999", percentile(0.999));
   w.key("buckets").begin_array();
   for (unsigned b = 0; b <= kBuckets; ++b) {
     if (counts_[b] == 0) continue;

@@ -50,6 +50,14 @@ class Histogram {
   // to the observed max). Returns 0 for an empty histogram.
   std::uint64_t quantile(double q) const;
 
+  // Interpolated percentile: locates the bucket holding rank q*(n-1) and
+  // interpolates linearly inside it (values assumed uniform within a
+  // bucket), clamped to [min(), max()]. Unlike quantile() this is not
+  // biased to bucket upper bounds, so p50/p99 of a tight distribution land
+  // near the true value instead of at the next power of two. Returns 0.0
+  // for an empty histogram.
+  double percentile(double q) const;
+
   // Multi-line human-readable rendering: one row per non-empty bucket.
   std::string render(const std::string& unit = "") const;
 

@@ -164,4 +164,28 @@ struct MapSpec {
   }
 };
 
+// Service-level spec: the KV pipeline (src/svc/) completes each request
+// with map semantics, EXCEPT that admission/overload shedding may complete
+// a request with EBUSY — which must linearize as a no-op (the map is
+// untouched). A shed operation records ret == kShed regardless of kind;
+// everything else follows MapSpec's encodings (the service's Status maps
+// to them: insert/upsert/erase Ok=1 NotFound=0, find ret=value+1 or 0).
+struct SvcSpec {
+  static constexpr std::uint64_t kShed = ~std::uint64_t{0};
+  static constexpr unsigned kMaxKeys = MapSpec::kMaxKeys;
+
+  using State = MapSpec::State;
+
+  static std::uint64_t pack_args(std::uint64_t key, std::uint64_t value) {
+    return MapSpec::pack_args(key, value);
+  }
+
+  static std::uint64_t hash(const State& s) { return MapSpec::hash(s); }
+
+  static std::optional<State> apply(const State& s, const Operation& op) {
+    if (op.ret == kShed) return s;  // shed: no effect, any position legal
+    return MapSpec::apply(s, op);
+  }
+};
+
 }  // namespace moir

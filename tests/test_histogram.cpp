@@ -42,6 +42,85 @@ TEST(Histogram, QuantileMonotone) {
   EXPECT_GE(h.quantile(0.5), 500u);
 }
 
+TEST(Histogram, PercentileEmpty) {
+  EXPECT_DOUBLE_EQ(Histogram{}.percentile(0.5), 0.0);
+}
+
+TEST(Histogram, PercentileSingleValue) {
+  Histogram h;
+  h.record(42);
+  // One value: every percentile is that value, not a bucket bound.
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.99), 42.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 42.0);
+}
+
+TEST(Histogram, PercentileEndpointsAndBounds) {
+  Histogram h;
+  for (std::uint64_t v = 100; v <= 200; ++v) h.record(v);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 100.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 200.0);
+  // Interior percentiles stay inside the observed range and inside the
+  // bucket containing their rank (values 100..127 are bucket 7,
+  // 128..200 bucket 8 clamped to max).
+  const double p50 = h.percentile(0.5);
+  EXPECT_GE(p50, 128.0);
+  EXPECT_LE(p50, 200.0);
+  // NaN / out-of-range q clamp instead of misbehaving.
+  EXPECT_DOUBLE_EQ(h.percentile(-1.0), 100.0);
+  EXPECT_DOUBLE_EQ(h.percentile(2.0), 200.0);
+}
+
+TEST(Histogram, PercentileMonotone) {
+  Histogram h;
+  Histogram wide;
+  for (std::uint64_t v = 0; v < 1000; ++v) h.record(v * 17 % 4096);
+  double prev = -1.0;
+  for (const double q : {0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0}) {
+    const double p = h.percentile(q);
+    EXPECT_GE(p, prev) << "q=" << q;
+    prev = p;
+  }
+  (void)wide;
+}
+
+TEST(Histogram, PercentileTwoModes) {
+  // 100 values near 10, 100 near 1000: p25 must sit in the low mode's
+  // bucket and p75 in the high mode's, with the interpolated values far
+  // apart — the separation quantile() can also see, but without the
+  // power-of-two rounding.
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.record(10);
+  for (int i = 0; i < 100; ++i) h.record(1000);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 10.0);
+  const double p25 = h.percentile(0.25);
+  EXPECT_GE(p25, 10.0);
+  EXPECT_LE(p25, 15.0);  // inside bucket (8..15], clamped below by min
+  const double p75 = h.percentile(0.75);
+  EXPECT_GE(p75, 512.0);  // inside bucket (511..1023], clamped to max
+  EXPECT_LE(p75, 1000.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 1000.0);
+}
+
+TEST(Histogram, PercentileOverflowBucketClamps) {
+  Histogram h;
+  h.record(1);
+  h.record(~std::uint64_t{0});
+  EXPECT_DOUBLE_EQ(h.percentile(1.0),
+                   static_cast<double>(~std::uint64_t{0}));
+}
+
+TEST(Histogram, ToJsonHasPercentileFields) {
+  Histogram h;
+  h.record(7);
+  const std::string j = h.to_json();
+  EXPECT_NE(j.find("\"p95\":"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"p999\":"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"p50i\":"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"p99i\":"), std::string::npos) << j;
+}
+
 TEST(Histogram, Merge) {
   Histogram a, b;
   a.record(1);

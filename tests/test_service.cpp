@@ -1,0 +1,488 @@
+// KvService pipeline: end-to-end round trips through the full
+// ring -> router -> shard-queue -> executor path, shed-on-full admission
+// (window, ring, and queue-pool exhaustion), graceful drain, and
+// linearizability of the whole pipeline against SvcSpec under both DFS
+// and PCT controlled schedules.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/llsc_traits.hpp"
+#include "reclaim/epoch.hpp"
+#include "sim/explore.hpp"
+#include "stats/stats.hpp"
+#include "svc/service.hpp"
+#include "util/env.hpp"
+#include "verify/history.hpp"
+#include "verify/linearizability.hpp"
+#include "verify/spec.hpp"
+
+namespace moir {
+namespace {
+
+using reclaim::EpochReclaimer;
+using Sub = CasBackedLlsc<16>;
+using Svc = svc::KvService<Sub, EpochReclaimer>;
+using svc::Op;
+using svc::Status;
+
+// Toggles stats counting on for a scope (and restores the previous mode),
+// so counter-delta assertions see live counters. All such assertions are
+// additionally guarded on stats::kCompiledIn: the tier1-stats-off preset
+// runs this suite with MOIR_STATS=0, where every counter reads zero.
+class CountingScope {
+ public:
+  CountingScope() : was_(stats::counting_enabled()) {
+    stats::set_counting(true);
+  }
+  ~CountingScope() { stats::set_counting(was_); }
+
+ private:
+  bool was_;
+};
+
+TEST(KvService, EndToEndRoundTrip) {
+  Sub sub;
+  Svc svc(sub, {.queues = 2,
+                .workers = 2,
+                .batch = 4,
+                .max_sessions = 2,
+                .tickets_per_session = 8,
+                .use_rings = true,
+                .map = {.shards = 2, .buckets_per_shard = 4,
+                        .capacity_per_shard = 64}});
+  auto c = svc.connect();
+
+  auto do_op = [&](Op op, std::uint64_t k, std::uint64_t v = 0) {
+    const auto t = svc.submit(c, op, k, v);
+    EXPECT_TRUE(t.has_value());
+    return svc.wait(c, *t);
+  };
+
+  // Insert across several keys (crossing shards), then the full verb set.
+  for (std::uint64_t k = 0; k < 8; ++k) {
+    EXPECT_EQ(do_op(Op::kInsert, k, k * 100).status, Status::kOk);
+  }
+  const auto hit = do_op(Op::kFind, 3);
+  EXPECT_EQ(hit.status, Status::kOk);
+  EXPECT_EQ(hit.value, 300u);
+
+  EXPECT_EQ(do_op(Op::kInsert, 3, 999).status, Status::kNotFound)
+      << "duplicate insert must report already-present";
+  EXPECT_EQ(do_op(Op::kUpsert, 3, 333).status, Status::kNotFound)
+      << "upsert on a present key reports updated-in-place";
+  EXPECT_EQ(do_op(Op::kFind, 3).value, 333u);
+  EXPECT_EQ(do_op(Op::kErase, 3).status, Status::kOk);
+  EXPECT_EQ(do_op(Op::kFind, 3).status, Status::kNotFound);
+  EXPECT_EQ(do_op(Op::kErase, 3).status, Status::kNotFound);
+
+  // A second concurrent session sees the first session's writes.
+  auto c2 = svc.connect();
+  const auto t2 = svc.submit(c2, Op::kFind, 5);
+  ASSERT_TRUE(t2.has_value());
+  const auto r2 = svc.wait(c2, *t2);
+  EXPECT_EQ(r2.status, Status::kOk);
+  EXPECT_EQ(r2.value, 500u);
+}
+
+// Admission window: W in-flight tickets, the W+1'th submit sheds (EBUSY),
+// and consuming a completion reopens the window. Direct mode with manual
+// pumping keeps every step deterministic.
+TEST(KvService, ShedOnFullWindow) {
+  CountingScope counting;
+  Sub sub;
+  Svc svc(sub, {.queues = 1,
+                .queue_capacity = 64,
+                .workers = 0,
+                .batch = 16,
+                .max_sessions = 1,
+                .tickets_per_session = 4,
+                .use_rings = false,
+                .map = {.shards = 1, .buckets_per_shard = 4,
+                        .capacity_per_shard = 32}});
+  auto c = svc.connect();
+  const auto before = stats::snapshot();
+
+  std::vector<Svc::Ticket> issued;
+  for (int i = 0; i < 4; ++i) {
+    const auto t = svc.submit(c, Op::kInsert, i, i);
+    ASSERT_TRUE(t.has_value()) << "submit " << i << " within the window";
+    issued.push_back(*t);
+  }
+  EXPECT_FALSE(svc.submit(c, Op::kInsert, 99, 99).has_value())
+      << "window exhausted: 5th in-flight submit must shed, not block";
+
+  if constexpr (stats::kCompiledIn) {
+    const auto d = stats::snapshot() - before;
+    EXPECT_EQ(d[stats::Id::kSvcEnqueue], 4u);
+    EXPECT_EQ(d[stats::Id::kSvcShed], 1u);
+  }
+
+  // Nothing completed yet: polls are empty and non-blocking.
+  for (const auto& t : issued) EXPECT_FALSE(svc.poll(c, t).has_value());
+
+  auto w = svc.make_worker_ctx();
+  EXPECT_EQ(svc.pump(w), 4u);
+  for (const auto& t : issued) {
+    const auto r = svc.poll(c, t);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->status, Status::kOk);
+  }
+
+  // The window reopened.
+  const auto t = svc.submit(c, Op::kFind, 2);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(svc.pump(w), 1u);
+  const auto r = svc.poll(c, *t);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->value, 2u);
+
+  if constexpr (stats::kCompiledIn) {
+    const auto d = stats::snapshot() - before;
+    EXPECT_GE(d[stats::Id::kSvcBatch], 2u);
+  }
+}
+
+// Ring mode back-pressure: a full ring sheds at submit; a full shard-queue
+// node pool makes the ROUTER complete the ticket with kOverload instead of
+// blocking on the executor.
+TEST(KvService, RingAndQueueOverload) {
+  Sub sub;
+  Svc svc(sub, {.queues = 1,
+                .queue_capacity = 2,  // dummy node + 1 usable
+                .workers = 0,
+                .batch = 16,
+                .max_sessions = 1,
+                .tickets_per_session = 8,
+                .ring_capacity = 4,
+                .use_rings = true,
+                .map = {.shards = 1, .buckets_per_shard = 4,
+                        .capacity_per_shard = 32}});
+  auto c = svc.connect();
+  auto rc = svc.make_router_ctx();
+  auto w = svc.make_worker_ctx();
+
+  // Phase 1: three requests reach the router, but the shard queue has one
+  // free node — the surplus two complete kOverload at the router.
+  std::vector<Svc::Ticket> issued;
+  for (int i = 0; i < 3; ++i) {
+    const auto t = svc.submit(c, Op::kInsert, i, i);
+    ASSERT_TRUE(t.has_value());
+    issued.push_back(*t);
+  }
+  EXPECT_EQ(svc.pump_session(rc, c.session()), 3u);
+
+  const auto r1 = svc.poll(c, issued[1]);
+  const auto r2 = svc.poll(c, issued[2]);
+  ASSERT_TRUE(r1.has_value());
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_EQ(r1->status, Status::kOverload);
+  EXPECT_EQ(r2->status, Status::kOverload);
+  EXPECT_FALSE(svc.poll(c, issued[0]).has_value())
+      << "the enqueued request needs an executor pump";
+  EXPECT_EQ(svc.pump(w), 1u);
+  const auto r0 = svc.poll(c, issued[0]);
+  ASSERT_TRUE(r0.has_value());
+  EXPECT_EQ(r0->status, Status::kOk);
+
+  // Phase 2: with no router pass, the 4-entry ring itself fills and the
+  // 5th submit sheds at admission.
+  issued.clear();
+  for (int i = 0; i < 4; ++i) {
+    const auto t = svc.submit(c, Op::kFind, i);
+    ASSERT_TRUE(t.has_value());
+    issued.push_back(*t);
+  }
+  EXPECT_FALSE(svc.submit(c, Op::kFind, 0).has_value())
+      << "full ring must shed, not block";
+
+  // Drain: one router pass completes-or-enqueues everything it pops, so a
+  // bounded number of pump passes finishes all four.
+  svc.pump_session(rc, c.session());
+  svc.pump(w);
+  for (const auto& t : issued) {
+    const auto r = svc.poll(c, t);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_TRUE(r->status == Status::kOk || r->status == Status::kOverload);
+  }
+}
+
+// Graceful drain with live workers: every ticket submitted before stop()
+// completes by the time stop() returns; submits after stop() shed.
+TEST(KvService, DrainCompletesInFlight) {
+  Sub sub;
+  Svc svc(sub, {.queues = 2,
+                .workers = 2,
+                .batch = 4,
+                .max_sessions = 1,
+                .tickets_per_session = 16,
+                .use_rings = true,
+                .map = {.shards = 2, .buckets_per_shard = 4,
+                        .capacity_per_shard = 64}});
+  auto c = svc.connect();
+
+  std::vector<Svc::Ticket> issued;
+  for (int i = 0; i < 8; ++i) {
+    // Under load some submits may shed (ring backlog); every ACCEPTED one
+    // must complete across stop().
+    if (const auto t = svc.submit(c, Op::kInsert, i, i * 7)) {
+      issued.push_back(*t);
+    }
+  }
+  svc.stop();
+  for (const auto& t : issued) {
+    const auto r = svc.poll(c, t);
+    ASSERT_TRUE(r.has_value())
+        << "ticket accepted before stop() not completed by drain";
+    EXPECT_EQ(r->status, Status::kOk);
+  }
+  EXPECT_FALSE(svc.submit(c, Op::kFind, 0).has_value())
+      << "post-stop submits must shed";
+}
+
+// Drain accounting, deterministically: with manual pumping, completions
+// that happen after stop() are counted as svc_drain.
+TEST(KvService, StopShedsAndCountsDrain) {
+  CountingScope counting;
+  Sub sub;
+  Svc svc(sub, {.queues = 1,
+                .queue_capacity = 64,
+                .workers = 0,
+                .max_sessions = 1,
+                .tickets_per_session = 8,
+                .use_rings = false,
+                .map = {.shards = 1, .buckets_per_shard = 4,
+                        .capacity_per_shard = 32}});
+  auto c = svc.connect();
+  const auto before = stats::snapshot();
+
+  std::vector<Svc::Ticket> issued;
+  for (int i = 0; i < 3; ++i) {
+    const auto t = svc.submit(c, Op::kUpsert, i, i);
+    ASSERT_TRUE(t.has_value());
+    issued.push_back(*t);
+  }
+  svc.stop();
+  EXPECT_TRUE(svc.draining());
+  EXPECT_FALSE(svc.submit(c, Op::kFind, 0).has_value());
+
+  auto w = svc.make_worker_ctx();
+  EXPECT_EQ(svc.pump(w), 3u);
+  for (const auto& t : issued) {
+    ASSERT_TRUE(svc.poll(c, t).has_value());
+  }
+  if constexpr (stats::kCompiledIn) {
+    const auto d = stats::snapshot() - before;
+    EXPECT_EQ(d[stats::Id::kSvcDrain], 3u);
+    EXPECT_GE(d[stats::Id::kSvcShed], 1u);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Pipeline linearizability under controlled schedules. Two client
+// sessions submit overlapping operations on a 3-key space through the
+// service and pump the executor themselves; an observer hook records the
+// response at completion time, so each operation's [inv, res] window
+// brackets its actual map effect. Histories must linearize against
+// SvcSpec (map semantics + shed-as-no-op).
+//
+// Slot indices are deterministic here — the free-ticket stack pops
+// 0,1,2,... and nothing is polled mid-body — so each body can register
+// its operation's kind/arg/inv under the predicted slot BEFORE submit,
+// and the observer (possibly running on the OTHER body's thread) finds
+// them by handle. ControlledScheduler serializes the bodies, so the
+// shared pending table needs no further synchronization.
+// ---------------------------------------------------------------------
+struct PendingOp {
+  OpKind kind = OpKind::kMapFind;
+  std::uint64_t arg = 0;
+  std::uint64_t inv = 0;
+};
+
+struct LinTrialShared {
+  Sub sub;
+  Svc svc;
+  HistoryRecorder rec{2};
+  std::vector<Svc::ClientCtx> clients;
+  std::vector<Svc::WorkerCtx> workers;
+  std::array<std::array<PendingOp, 8>, 2> pending{};
+  std::array<std::uint32_t, 2> next_slot{};
+  std::array<std::vector<Svc::Ticket>, 2> issued;
+
+  explicit LinTrialShared(const Svc::Config& cfg) : svc(sub, cfg) {
+    clients.reserve(2);
+    workers.reserve(2);
+    for (int t = 0; t < 2; ++t) {
+      clients.push_back(svc.connect());
+      workers.push_back(svc.make_worker_ctx());
+    }
+  }
+
+  static std::uint64_t ret_of(OpKind kind, const svc::Response& r) {
+    if (r.status == Status::kOverload) return SvcSpec::kShed;
+    if (kind == OpKind::kMapFind) {
+      return r.status == Status::kOk ? r.value + 1 : 0;
+    }
+    return r.status == Status::kOk ? 1 : 0;
+  }
+
+  // Completion hook: fires inside pump/pump_session before publication.
+  auto observer() {
+    return [this](std::uint64_t handle, const svc::Response& r) {
+      const unsigned sid = svc::handle_session(handle);
+      const PendingOp& p = pending[sid][svc::handle_slot(handle)];
+      rec.add(sid, sid, p.kind, p.arg, ret_of(p.kind, r), p.inv);
+    };
+  }
+
+  void submit_op(unsigned t, OpKind kind, std::uint64_t key,
+                 std::uint64_t val) {
+    Op op{};
+    std::uint64_t arg = 0;
+    switch (kind) {
+      case OpKind::kMapInsert: op = Op::kInsert;
+        arg = SvcSpec::pack_args(key, val);
+        break;
+      case OpKind::kMapUpsert: op = Op::kUpsert;
+        arg = SvcSpec::pack_args(key, val);
+        break;
+      case OpKind::kMapErase: op = Op::kErase;
+        arg = key;
+        break;
+      default: op = Op::kFind;
+        arg = key;
+        break;
+    }
+    const std::uint32_t slot = next_slot[t];
+    pending[t][slot] = PendingOp{kind, arg, rec.now()};
+    const auto ticket = svc.submit(clients[t], op, key, val);
+    if (!ticket.has_value()) {
+      // Client-side shed: a no-op the spec accepts anywhere.
+      rec.add(t, t, kind, arg, SvcSpec::kShed, pending[t][slot].inv);
+      return;
+    }
+    next_slot[t] = slot + 1;
+    issued[t].push_back(*ticket);
+  }
+
+  // Post-join: everything was drained by the bodies, so one poll sweep
+  // consumes every ticket (required by the disconnect assertion), then
+  // the merged history is checked.
+  bool check() {
+    for (unsigned t = 0; t < 2; ++t) {
+      for (const auto& ticket : issued[t]) {
+        const auto r = svc.poll(clients[t], ticket);
+        if (!r.has_value()) return false;  // drain failed to complete it
+      }
+    }
+    LinearizabilityChecker<SvcSpec> checker;
+    return checker.check(rec.collect(), SvcSpec::State{});
+  }
+};
+
+Svc::Config lin_config(bool use_rings) {
+  return {.queues = 1,
+          .queue_capacity = 16,
+          .workers = 0,
+          .batch = 4,
+          .max_sessions = 2,
+          .tickets_per_session = 8,
+          .ring_capacity = 8,
+          .use_rings = use_rings,
+          .map = {.shards = 1, .buckets_per_shard = 1,
+                  .capacity_per_shard = 16}};
+}
+
+TEST(KvService, ExploreLinearizable) {
+  auto make_trial = [] {
+    auto sh = std::make_shared<LinTrialShared>(lin_config(false));
+    testing::ScheduleExplorer::Trial trial;
+    // Each body drains the shared queues after its own submits, so every
+    // enqueued request is executed by SOME body before the trial ends.
+    auto drain = [sh](unsigned t) {
+      while (sh->svc.pump(sh->workers[t], sh->observer()) > 0) {
+      }
+    };
+    trial.bodies.push_back([sh, drain] {
+      sh->submit_op(0, OpKind::kMapInsert, 0, 10);
+      sh->svc.pump(sh->workers[0], sh->observer());
+      sh->submit_op(0, OpKind::kMapFind, 1, 0);
+      sh->submit_op(0, OpKind::kMapErase, 0, 0);
+      drain(0);
+    });
+    trial.bodies.push_back([sh, drain] {
+      sh->submit_op(1, OpKind::kMapInsert, 1, 11);
+      sh->svc.pump(sh->workers[1], sh->observer());
+      sh->submit_op(1, OpKind::kMapUpsert, 0, 20);
+      sh->submit_op(1, OpKind::kMapFind, 0, 0);
+      drain(1);
+    });
+    trial.check = [sh] { return sh->check(); };
+    return trial;
+  };
+
+  const testing::ExploreOptions opts{.max_trials = scaled_budget(120)};
+  const auto r = testing::ScheduleExplorer::explore(make_trial, opts);
+  EXPECT_FALSE(r.violation_found)
+      << "non-linearizable service history under schedule "
+      << r.schedule_string();
+  EXPECT_GT(r.trials, 0u);
+}
+
+// The full ring pipeline under PCT schedules. Rings are SPSC, so each
+// body routes ONLY its own session's ring (pump_session) — it is that
+// ring's unique consumer — then pumps the shared shard queues.
+TEST(PctSmoke, ServicePipeline) {
+  auto make_trial = [] {
+    auto sh = std::make_shared<LinTrialShared>(lin_config(true));
+    testing::ScheduleExplorer::Trial trial;
+    auto route_and_pump = [sh](unsigned t) {
+      sh->svc.pump_session(sh->workers[t].dctx, sh->clients[t].session(),
+                           sh->observer());
+      sh->svc.pump(sh->workers[t], sh->observer());
+    };
+    auto drain = [sh, route_and_pump](unsigned t) {
+      for (;;) {
+        const unsigned moved = sh->svc.pump_session(
+            sh->workers[t].dctx, sh->clients[t].session(), sh->observer());
+        const unsigned done = sh->svc.pump(sh->workers[t], sh->observer());
+        if (moved == 0 && done == 0) break;
+      }
+    };
+    trial.bodies.push_back([sh, route_and_pump, drain] {
+      sh->submit_op(0, OpKind::kMapInsert, 0, 10);
+      route_and_pump(0);
+      sh->submit_op(0, OpKind::kMapUpsert, 1, 21);
+      sh->submit_op(0, OpKind::kMapErase, 0, 0);
+      drain(0);
+    });
+    trial.bodies.push_back([sh, route_and_pump, drain] {
+      sh->submit_op(1, OpKind::kMapInsert, 1, 11);
+      route_and_pump(1);
+      sh->submit_op(1, OpKind::kMapFind, 0, 0);
+      sh->submit_op(1, OpKind::kMapErase, 1, 0);
+      drain(1);
+    });
+    trial.check = [sh] { return sh->check(); };
+    return trial;
+  };
+
+  const testing::PctOptions opts{
+      .runs = scaled_budget(30),
+      .depth = 3,
+      .change_range = 128,
+      .seed = base_seed() + 23,
+  };
+  const auto r = testing::ScheduleExplorer::pct_explore(make_trial, opts);
+  EXPECT_FALSE(r.violation_found)
+      << "non-linearizable pipeline history under schedule "
+      << r.schedule_string();
+  EXPECT_EQ(r.trials, opts.runs);
+}
+
+}  // namespace
+}  // namespace moir

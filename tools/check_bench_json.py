@@ -27,10 +27,16 @@ REQUIRED_COUNTERS = [
     "rsc_spurious", "rsc_conflict", "tag_alloc", "tag_recycle",
     "tag_exhaustion", "help_rounds", "word_copies", "stm_commit",
     "stm_abort", "stm_help", "epoch_advance", "hp_scan", "node_retire",
-    "node_free", "alloc_exhaustion",
+    "node_free", "alloc_exhaustion", "svc_enqueue", "svc_batch", "svc_shed",
+    "svc_drain",
 ]
 REQUIRED_RUN = ["name", "threads", "ops", "secs", "ns_per_op", "mops",
                 "latency_ns", "counters"]
+# Interpolated percentiles every latency histogram must carry (quantile
+# fields p50/p90/p99 predate these and stay).
+REQUIRED_PERCENTILES = ["p50i", "p95", "p99i", "p999"]
+# Histogram catalogue entries every report must include (zeros allowed).
+REQUIRED_HISTOGRAMS = ["batch_size", "svc_latency"]
 
 
 def fail(msg):
@@ -57,9 +63,16 @@ def check_doc(doc, source, min_runs):
             if counter not in run["counters"]:
                 fail(f"{source}: run '{run['name']}' missing counter "
                      f"'{counter}'")
+        for pct in REQUIRED_PERCENTILES:
+            if pct not in run["latency_ns"]:
+                fail(f"{source}: run '{run['name']}' latency_ns missing "
+                     f"'{pct}'")
     for counter in REQUIRED_COUNTERS:
         if counter not in doc["counters"]:
             fail(f"{source}: global counters missing '{counter}'")
+    for hist in REQUIRED_HISTOGRAMS:
+        if hist not in doc["histograms"]:
+            fail(f"{source}: histograms missing '{hist}'")
 
 
 def main():
