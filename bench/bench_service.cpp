@@ -67,7 +67,6 @@ typename Svc::Config svc_config(unsigned clients, unsigned batch,
   cfg.batch = batch;
   cfg.max_sessions = clients;
   cfg.tickets_per_session = 64;
-  cfg.ring_capacity = 64;
   cfg.use_rings = use_rings;
   cfg.map = {.shards = queues, .buckets_per_shard = 64,
              .capacity_per_shard = 4096};

@@ -117,9 +117,9 @@ class ShardedHashMap {
   bool insert(ThreadCtx& ctx, std::uint64_t key, std::uint64_t value) {
     Shard& sh = shard_of(key);
     reclaimer_.enter(ctx.rec);
-    const bool inserted = insert_impl(ctx, sh, key, value, /*upsert=*/false);
+    const SlotResult r = insert_impl(ctx, sh, key, value, /*upsert=*/false);
     reclaimer_.exit(ctx.rec);
-    return inserted;
+    return r.ok && r.inserted;
   }
 
   // Updates in place if present (returns false), inserts otherwise
@@ -127,9 +127,51 @@ class ShardedHashMap {
   bool upsert(ThreadCtx& ctx, std::uint64_t key, std::uint64_t value) {
     Shard& sh = shard_of(key);
     reclaimer_.enter(ctx.rec);
-    const bool inserted = insert_impl(ctx, sh, key, value, /*upsert=*/true);
+    const SlotResult r = insert_impl(ctx, sh, key, value, /*upsert=*/true);
     reclaimer_.exit(ctx.rec);
-    return inserted;
+    return r.ok && r.inserted;
+  }
+
+  // ----- txn-layer hooks ---------------------------------------------------
+  // A handle is a node's GLOBAL index (shard.index * capacity_per_shard +
+  // node index within the shard): a dense id into any parallel per-node
+  // array, e.g. the txn layer's Mcas cell array (src/txn/txn_kv.hpp). A
+  // handle is stable exactly as long as its node stays linked; the txn
+  // layer keeps nodes forever (its "erase" writes an absent marker into
+  // the value cell instead of unlinking), so under that insert-only
+  // discipline handles are stable for the map's lifetime. Mixing direct
+  // erase() with handle-based access is not supported.
+  std::uint32_t handle_space() const {
+    return cfg_.shards * cfg_.capacity_per_shard;
+  }
+
+  // Find-or-insert returning a stable handle under the reclaimer bracket:
+  // inserts a node carrying `node_value` if the key is absent, else
+  // adopts the existing node. nullopt = shard node pool exhausted.
+  std::optional<std::uint32_t> find_or_insert_handle(ThreadCtx& ctx,
+                                                     std::uint64_t key,
+                                                     std::uint64_t node_value) {
+    Shard& sh = shard_of(key);
+    reclaimer_.enter(ctx.rec);
+    const SlotResult r =
+        insert_impl(ctx, sh, key, node_value, /*upsert=*/false);
+    reclaimer_.exit(ctx.rec);
+    if (!r.ok) return std::nullopt;
+    return global_idx(sh, r.idx);
+  }
+
+  // Handle lookup without insertion; nullopt = key has no node.
+  std::optional<std::uint32_t> locate_handle(ThreadCtx& ctx,
+                                             std::uint64_t key) {
+    Shard& sh = shard_of(key);
+    reclaimer_.enter(ctx.rec);
+    std::optional<std::uint32_t> out;
+    const Window w = search(ctx, sh, bucket_of(key), key);
+    if (w.curr != null_idx_ && sh.alloc.node(w.curr).key == key) {
+      out = global_idx(sh, w.curr);
+    }
+    reclaimer_.exit(ctx.rec);
+    return out;
   }
 
   std::optional<std::uint64_t> find(ThreadCtx& ctx, std::uint64_t key) {
@@ -333,8 +375,16 @@ class ShardedHashMap {
     }
   }
 
-  bool insert_impl(ThreadCtx& ctx, Shard& sh, std::uint64_t key,
-                   std::uint64_t value, bool upsert) {
+  // Outcome of the shared find-or-insert walk: ok = false only on pool
+  // exhaustion; idx is the surviving node's shard-local index when ok.
+  struct SlotResult {
+    std::uint32_t idx = 0;
+    bool inserted = false;
+    bool ok = false;
+  };
+
+  SlotResult insert_impl(ThreadCtx& ctx, Shard& sh, std::uint64_t key,
+                         std::uint64_t value, bool upsert) {
     const std::uint32_t bucket = bucket_of(key);
     for (;;) {
       const Window w = search(ctx, sh, bucket, key);
@@ -344,10 +394,10 @@ class ShardedHashMap {
           sh.alloc.node(w.curr).value.store(value,
                                             std::memory_order_release);
         }
-        return false;
+        return SlotResult{w.curr, false, true};
       }
       const auto n = sh.alloc.alloc();
-      if (!n) return false;  // pool exhausted (counted by the allocator)
+      if (!n) return SlotResult{};  // pool exhausted (allocator counts it)
       Node& nn = sh.alloc.node(*n);
       nn.key = key;
       nn.value.store(value, std::memory_order_relaxed);
@@ -362,7 +412,7 @@ class ShardedHashMap {
       }
       if (substrate_.sc(ctx.sub, *w.prev, keep, word_of(*n, false))) {
         sh.size.fetch_add(1, std::memory_order_relaxed);
-        return true;
+        return SlotResult{*n, true, true};
       }
       sh.alloc.free(*n);
     }

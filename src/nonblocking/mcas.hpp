@@ -56,13 +56,18 @@ class Mcas {
 
   // N-word CAS. `addrs` must be sorted and unique; expected/desired are
   // parallel arrays. Atomic and linearizable: true iff all cells matched
-  // and all were replaced.
+  // and all were replaced. When `witnessed` is non-empty it receives the
+  // values the committed transaction read — on failure, the consistent
+  // snapshot that refuted the comparison (the txn layer's multi_cas
+  // returns it to clients).
   bool mcas(ThreadCtx& ctx, std::span<const std::uint32_t> addrs,
             std::span<const std::uint64_t> expected,
-            std::span<const std::uint64_t> desired) {
+            std::span<const std::uint64_t> desired,
+            std::span<std::uint64_t> witnessed = {}) {
     const unsigned n = static_cast<unsigned>(addrs.size());
     MOIR_ASSERT(n >= 1 && n <= kMaxWords);
     MOIR_ASSERT(expected.size() == n && desired.size() == n);
+    MOIR_ASSERT(witnessed.empty() || witnessed.size() == n);
 
     Spec& spec = *specs_[ctx.pid];
     for (unsigned i = 0; i < n; ++i) {
@@ -76,11 +81,40 @@ class Mcas {
     // re-reads the cells, so the comparison always uses fresh values.
     result = stm_.transact(ctx, addrs, &apply_spec,
                            reinterpret_cast<std::uint64_t>(&spec));
+    bool match = true;
     for (unsigned i = 0; i < n; ++i) {
-      if (result.olds[i] != expected[i]) return false;
+      if (!witnessed.empty()) witnessed[i] = result.olds[i];
+      if (result.olds[i] != expected[i]) match = false;
     }
-    return true;
+    return match;
   }
+
+  // Unconditional atomic multi-write (an MCAS with no comparison): writes
+  // all desired values and reports the replaced ones through `olds`. Same
+  // sorted-unique addrs contract as mcas().
+  void mset(ThreadCtx& ctx, std::span<const std::uint32_t> addrs,
+            std::span<const std::uint64_t> desired,
+            std::span<std::uint64_t> olds = {}) {
+    const unsigned n = static_cast<unsigned>(addrs.size());
+    MOIR_ASSERT(n >= 1 && n <= kMaxWords && desired.size() == n);
+    MOIR_ASSERT(olds.empty() || olds.size() == n);
+
+    Spec& spec = *specs_[ctx.pid];
+    for (unsigned i = 0; i < n; ++i) {
+      MOIR_ASSERT(desired[i] <= kMaxValue);
+      spec.desired[i] = desired[i];
+    }
+    const auto result = stm_.transact(ctx, addrs, &apply_put,
+                                      reinterpret_cast<std::uint64_t>(&spec));
+    for (unsigned i = 0; i < n && !olds.empty(); ++i) {
+      olds[i] = result.olds[i];
+    }
+  }
+
+  // Tagged no-help observation of one cell (see Stm::peek): the building
+  // block of the txn layer's double-collect multi-get.
+  Stm::CellView peek(std::size_t cell) { return stm_.peek(cell); }
+  void help_locked(const Stm::CellView& view) { stm_.help_locked(view); }
 
   // Double-word CAS — the Greenwald/Cheriton primitive. a1 < a2 required.
   bool dcas(ThreadCtx& ctx, std::uint32_t a1, std::uint64_t e1,
@@ -130,6 +164,13 @@ class Mcas {
   static void apply_identity(const std::uint64_t* olds, std::uint64_t* news,
                              unsigned n, std::uint64_t) {
     for (unsigned i = 0; i < n; ++i) news[i] = olds[i];
+  }
+
+  // Unconditional write: ignore olds, install desired.
+  static void apply_put(const std::uint64_t* /*olds*/, std::uint64_t* news,
+                        unsigned n, std::uint64_t arg) {
+    const Spec* spec = reinterpret_cast<const Spec*>(arg);
+    for (unsigned i = 0; i < n; ++i) news[i] = spec->desired[i];
   }
 
   Stm stm_;

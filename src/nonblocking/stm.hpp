@@ -115,6 +115,10 @@ class Stm {
     const std::uint32_t seq =
         d.seq.fetch_add(1, std::memory_order_seq_cst) + 1;
     while (d.helpers.load(std::memory_order_seq_cst) != 0) {
+      // Under the ControlledScheduler this spin cannot make solo progress
+      // (the registered helper needs to run), so expose a decision point —
+      // a no-op in production builds.
+      MOIR_YIELD_POINT();
       std::this_thread::yield();
     }
     // Reset the descriptor for this incarnation. Safe: no helper is
@@ -156,6 +160,42 @@ class Stm {
       if (!is_locked(v)) return v;
       help(lock_pid(v), lock_seq23(v), /*depth=*/0);
     }
+  }
+
+  // One tagged observation of a cell, no helping. The tag is the
+  // substrate's modification counter: every successful SC on the cell
+  // (lock install, write-back, release) advances it, so two peeks
+  // returning equal {tag, unlocked} bracket an interval in which the cell
+  // was not written — the double-collect validation the txn layer's
+  // multi-get builds on (docs/ALGORITHMS.md "tags as version counters").
+  struct CellView {
+    std::uint64_t value = 0;
+    std::uint64_t tag = 0;
+    bool locked = false;
+    unsigned owner = 0;        // meaningful iff locked
+    std::uint32_t owner_seq23 = 0;
+  };
+
+  CellView peek(std::size_t cell) {
+    Cells::Keep keep;
+    const std::uint64_t v = Cells::ll(cells_[cell], keep);
+    CellView view;
+    view.tag = keep.tag();
+    view.locked = is_locked(v);
+    if (view.locked) {
+      view.owner = lock_pid(v);
+      view.owner_seq23 = lock_seq23(v);
+    } else {
+      view.value = v;
+    }
+    return view;
+  }
+
+  // Drive the owner of a locked CellView to completion (public entry for
+  // readers that observed the lock via peek() and want to clear it).
+  void help_locked(const CellView& view) {
+    MOIR_ASSERT(view.locked);
+    help(view.owner, view.owner_seq23, /*depth=*/0);
   }
 
   // Diagnostics for tests: true if any cell is currently locked.

@@ -40,6 +40,11 @@ const char* name(Id id) {
     case Id::kSvcBatch: return "svc_batch";
     case Id::kSvcShed: return "svc_shed";
     case Id::kSvcDrain: return "svc_drain";
+    case Id::kTxnStart: return "txn_start";
+    case Id::kTxnCommit: return "txn_commit";
+    case Id::kTxnAbort: return "txn_abort";
+    case Id::kTxnHelp: return "txn_help";
+    case Id::kTxnRevalidate: return "txn_revalidate";
     case Id::kNumIds: break;
   }
   return "unknown";
@@ -52,6 +57,7 @@ const char* name(HistId id) {
     case HistId::kRetireListLen: return "retire_list_len";
     case HistId::kSvcBatchSize: return "batch_size";
     case HistId::kSvcLatency: return "svc_latency";
+    case HistId::kTxnKeys: return "txn_keys";
     case HistId::kNumHistIds: break;
   }
   return "unknown";

@@ -82,6 +82,11 @@ enum class Id : std::uint8_t {
   kSvcBatch,      // executor batch (>= 1 request) popped and executed
   kSvcShed,       // request refused at admission (EBUSY) instead of blocking
   kSvcDrain,      // request completed during graceful drain (after stop())
+  kTxnStart,      // multi-key transaction begun (src/txn/)
+  kTxnCommit,     // multi-key transaction applied (incl. validated multi-get)
+  kTxnAbort,      // multi-key CAS committed with a comparison mismatch
+  kTxnHelp,       // txn read path helped a locked cell's owner to completion
+  kTxnRevalidate, // multi-get double-collect retried (tag/handle changed)
   kNumIds
 };
 
@@ -95,6 +100,7 @@ enum class HistId : std::uint8_t {
                         // the merged max is the high-water mark
   kSvcBatchSize,        // requests executed per non-empty executor batch
   kSvcLatency,          // ns from admission to response publication
+  kTxnKeys,             // keys per multi-key transaction (k)
   kNumHistIds
 };
 

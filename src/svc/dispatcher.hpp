@@ -33,14 +33,32 @@
 
 namespace moir::svc {
 
-enum class Op : std::uint8_t { kFind, kInsert, kUpsert, kErase };
+enum class Op : std::uint8_t {
+  kFind,
+  kInsert,
+  kUpsert,
+  kErase,
+  // Multi-key transactions (txn mode only; see src/txn/txn_kv.hpp). The
+  // keys/args/exps arrays of the TicketSlot carry the payload; responses
+  // come back through resp_values in wire form (0 = absent, v+1 = v).
+  kMultiGet,
+  kMultiPut,
+  kMultiCas,
+};
 
 enum class Status : std::uint8_t {
   kOk,        // operation applied; value meaningful for kFind hits
   kNotFound,  // kFind/kErase on an absent key, kUpsert updated in place,
-              // kInsert on a present key: the "false/absent" return
-  kOverload,  // completed WITH an error by the router: shard queue full
+              // kInsert on a present key, kMultiCas comparison mismatch:
+              // the "false/absent" return
+  kOverload,  // completed WITH an error before reaching the map: shard
+              // queue full at the router, or a txn key's node pool
+              // exhausted (either way the request had no effect — EBUSY)
 };
+
+// Keys per multi-key transaction request (mirrors txn::TxnKv::kMaxTxnKeys
+// == Mcas::kMaxWords; the service static_asserts they agree).
+inline constexpr unsigned kMaxTxnKeys = 8;
 
 struct Response {
   Status status = Status::kOk;
@@ -53,13 +71,21 @@ struct Response {
 // through the done word.
 struct alignas(kCacheLine) TicketSlot {
   // Request, client-written, stable from enqueue to completion.
-  std::uint64_t key = 0;
+  std::uint64_t key = 0;  // multi ops route by keys[0], mirrored here
   std::uint64_t value = 0;
   std::uint64_t gen = 0;        // client-owned reuse counter
   std::uint64_t submit_ns = 0;  // stats-only latency origin (0 = untimed)
   Op op = Op::kFind;
-  // Response, executor-written before the done publication.
+  std::uint8_t nkeys = 0;  // multi ops: number of keys (2..kMaxTxnKeys)
+  // Multi-key payload (txn mode): args = plain values for kMultiPut /
+  // wire-form desired for kMultiCas; exps = wire-form expected (kMultiCas).
+  std::uint64_t keys[kMaxTxnKeys] = {};
+  std::uint64_t args[kMaxTxnKeys] = {};
+  std::uint64_t exps[kMaxTxnKeys] = {};
+  // Response, executor-written before the done publication. resp_values:
+  // kMultiGet snapshot / kMultiCas witness, wire form, user key order.
   std::uint64_t resp_value = 0;
+  std::uint64_t resp_values[kMaxTxnKeys] = {};
   Status resp_status = Status::kOk;
   // Seqlock word: last generation whose response is published.
   std::atomic<std::uint64_t> done{0};

@@ -32,10 +32,12 @@
 // guarantee covers requests, not racing admission calls.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -48,16 +50,24 @@
 #include "stats/stats.hpp"
 #include "svc/dispatcher.hpp"
 #include "svc/spsc_ring.hpp"
+#include "txn/txn_kv.hpp"
 #include "util/assertion.hpp"
 #include "util/stopwatch.hpp"
 
 namespace moir::svc {
 
-template <SmallLlscSubstrate S, reclaim::Reclaimer R>
+// RingCap: per-session SPSC ring capacity (compile-time power of two).
+template <SmallLlscSubstrate S, reclaim::Reclaimer R,
+          std::uint32_t RingCap = 64>
 class KvService {
  public:
   using Map = ShardedHashMap<S, R>;
   using Disp = Dispatcher<S, R>;
+  using Txn = txn::TxnKv<S, R>;
+  using Ring = SpscRing<RingCap>;
+
+  static_assert(kMaxTxnKeys == Txn::kMaxTxnKeys,
+                "dispatcher slot arrays must fit a full transaction");
 
   struct Config {
     unsigned queues = 4;                 // dispatch shards
@@ -66,10 +76,14 @@ class KvService {
     unsigned batch = 16;                 // B: max requests per executor pop
     unsigned max_sessions = 8;           // concurrent clients
     std::uint32_t tickets_per_session = 64;  // in-flight window W
-    std::uint32_t ring_capacity = 64;
     // Ingress mode: true = client -> ring -> router -> shard queue (the
     // full pipeline), false = client enqueues into the shard queue itself.
     bool use_rings = true;
+    // Transaction mode: values live in the txn layer's per-node Mcas
+    // cells (insert-only map discipline) and the kMulti* ops are
+    // accepted. Single-key semantics are unchanged; off (the default)
+    // keeps the plain map path and rejects multi-key submits.
+    bool txn = false;
     typename Map::Config map{};
   };
 
@@ -118,19 +132,26 @@ class KvService {
     typename Map::ThreadCtx mctx;
     std::vector<std::uint64_t> buf;  // batch buffer, cfg.batch entries
     unsigned rotor = 0;              // round-robin start shard
+    // Txn mode only: the txn-layer context (its embedded map ctx is a
+    // second reclaimer lease, hence the doubled worker term below).
+    std::unique_ptr<typename Txn::ThreadCtx> tctx;
   };
 
   explicit KvService(S& substrate, Config cfg = {})
       : cfg_(cfg),
         // Concurrent ThreadCtx holders across the shard-queue reclaimers
         // and the map reclaimer: one per session, one per worker, the
-        // router, and slack for a manual pumper / preloader.
-        max_threads_(cfg.max_sessions + cfg.workers + 2),
+        // router, and slack for a manual pumper / preloader. Txn mode
+        // doubles the worker/pumper terms (WorkerCtx carries both a plain
+        // map ctx and the txn ctx's embedded one).
+        max_threads_(cfg.max_sessions +
+                     (cfg.txn ? 2 * cfg.workers + 4 : cfg.workers + 2)),
         disp_(substrate, max_threads_, cfg.queues, cfg.queue_capacity),
         map_(substrate, max_threads_, cfg.map),
         session_reg_(cfg.max_sessions) {
     MOIR_ASSERT(cfg_.batch >= 1 && cfg_.queues >= 1);
     MOIR_ASSERT(cfg_.tickets_per_session >= 1 && cfg_.max_sessions >= 1);
+    if (cfg_.txn) txn_ = std::make_unique<Txn>(map_, max_threads_);
     sessions_.reserve(cfg_.max_sessions);
     for (unsigned i = 0; i < cfg_.max_sessions; ++i) {
       sessions_.push_back(std::make_unique<SessionState>(cfg_));
@@ -186,11 +207,59 @@ class KvService {
     ts.gen += 1;
     ts.submit_ns = stats::counting_enabled() ? clock_.elapsed_ns() : 0;
     const std::uint64_t handle = make_handle(c.sid_, slot);
-    const bool ok = cfg_.use_rings ? ss.ring->try_push(handle)
+    const bool ok = cfg_.use_rings ? ss.ring.try_push(handle)
                                    : disp_.enqueue(ss.dctx, key, handle);
     if (!ok) {
       // The slot was never published; the gen bump is harmless and the
       // ticket stays free.
+      stats::count(stats::Id::kSvcShed);
+      return std::nullopt;
+    }
+    ss.free.pop_back();
+    stats::count(stats::Id::kSvcEnqueue);
+    return Ticket{slot, ts.gen};
+  }
+
+  // Multi-key admission (txn mode only). `keys` are the transaction's
+  // distinct keys in user order; `values` are plain values for kMultiPut
+  // and WIRE-FORM desired words for kMultiCas (0 = erase, v+1 = v);
+  // `expected` is the wire-form comparison vector for kMultiCas. Same
+  // shed discipline as submit(): the whole transaction is admitted or
+  // refused atomically — a shed here (or a kOverload later) means NO key
+  // was touched, so a shed can never strand a partial transaction.
+  std::optional<Ticket> submit_multi(
+      ClientCtx& c, Op op, std::span<const std::uint64_t> keys,
+      std::span<const std::uint64_t> values = {},
+      std::span<const std::uint64_t> expected = {}) {
+    MOIR_ASSERT_MSG(cfg_.txn, "multi-key ops require Config::txn");
+    const auto n = static_cast<std::uint8_t>(keys.size());
+    MOIR_ASSERT(n >= 1 && n <= kMaxTxnKeys);
+    MOIR_ASSERT(op == Op::kMultiGet || op == Op::kMultiPut ||
+                op == Op::kMultiCas);
+    MOIR_ASSERT(op == Op::kMultiGet || values.size() == keys.size());
+    MOIR_ASSERT(op != Op::kMultiCas || expected.size() == keys.size());
+    SessionState& ss = *sessions_[c.sid_];
+    if (draining_.load(std::memory_order_acquire) || ss.free.empty()) {
+      stats::count(stats::Id::kSvcShed);
+      return std::nullopt;
+    }
+    const std::uint32_t slot = ss.free.back();
+    TicketSlot& ts = ss.slots[slot];
+    ts.key = keys[0];  // the routing key; see pump_session
+    ts.value = 0;
+    ts.op = op;
+    ts.nkeys = n;
+    for (std::uint8_t i = 0; i < n; ++i) {
+      ts.keys[i] = keys[i];
+      ts.args[i] = i < values.size() ? values[i] : 0;
+      ts.exps[i] = i < expected.size() ? expected[i] : 0;
+    }
+    ts.gen += 1;
+    ts.submit_ns = stats::counting_enabled() ? clock_.elapsed_ns() : 0;
+    const std::uint64_t handle = make_handle(c.sid_, slot);
+    const bool ok = cfg_.use_rings ? ss.ring.try_push(handle)
+                                   : disp_.enqueue(ss.dctx, ts.key, handle);
+    if (!ok) {
       stats::count(stats::Id::kSvcShed);
       return std::nullopt;
     }
@@ -213,6 +282,25 @@ class KvService {
     return r;
   }
 
+  // Multi-value poll: additionally copies the per-key response vector
+  // (kMultiGet snapshot / kMultiCas witness, wire form, user key order)
+  // into values_out before the slot is released.
+  std::optional<Response> poll(ClientCtx& c, const Ticket& t,
+                               std::span<std::uint64_t> values_out) {
+    SessionState& ss = *sessions_[c.sid_];
+    TicketSlot& ts = ss.slots[t.slot];
+    MOIR_YIELD_READ(&ts.done);
+    if (ts.done.load(std::memory_order_acquire) != t.gen) {
+      return std::nullopt;
+    }
+    const std::size_t n =
+        std::min<std::size_t>(ts.nkeys, values_out.size());
+    for (std::size_t i = 0; i < n; ++i) values_out[i] = ts.resp_values[i];
+    const Response r{ts.resp_status, ts.resp_value};
+    ss.free.push_back(t.slot);
+    return r;
+  }
+
   // Voluntary blocking on one ticket: spin-then-yield until complete. Only
   // meaningful while workers (or a manual pumper on another thread) run.
   Response wait(ClientCtx& c, const Ticket& t) {
@@ -223,16 +311,36 @@ class KvService {
     }
   }
 
+  Response wait(ClientCtx& c, const Ticket& t,
+                std::span<std::uint64_t> values_out) {
+    SpinWait sw;
+    for (;;) {
+      if (auto r = poll(c, t, values_out)) return *r;
+      sw.pause();
+    }
+  }
+
   // ----- Executor API (workers call these; tests/benches may pump
   // manually when cfg.workers == 0) ----------------------------------------
 
   WorkerCtx make_worker_ctx() {
     WorkerCtx w{disp_.make_ctx(), map_.make_ctx(),
-                std::vector<std::uint64_t>(cfg_.batch), 0};
+                std::vector<std::uint64_t>(cfg_.batch), 0, nullptr};
+    if (cfg_.txn) {
+      w.tctx = std::make_unique<typename Txn::ThreadCtx>(txn_->make_ctx());
+    }
     return w;
   }
 
   typename Disp::ThreadCtx make_router_ctx() { return disp_.make_ctx(); }
+
+  // Instrumentation: the slot behind a handle. Race-free only where the
+  // completion handshake already orders the reads — inside a pump
+  // observer (after execution, before publication), where test harnesses
+  // read the multi-key response vector at completion time.
+  const TicketSlot& peek_slot(std::uint64_t handle) const {
+    return sessions_[handle_session(handle)]->slots[handle_slot(handle)];
+  }
 
   // One pass over the shard queues: pops up to B handles per queue under a
   // single reclaimer bracket each, executes them against the map, and
@@ -271,11 +379,11 @@ class KvService {
   unsigned pump_session(typename Disp::ThreadCtx& rc, unsigned sid,
                         Observer&& obs) {
     SessionState& ss = *sessions_[sid];
-    const std::uint32_t burst = ss.ring->capacity();
+    constexpr std::uint32_t burst = Ring::capacity();
     unsigned moved = 0;
     for (std::uint32_t i = 0; i < burst; ++i) {
       std::uint64_t handle;
-      if (!ss.ring->try_pop(handle)) break;
+      if (!ss.ring.try_pop(handle)) break;
       TicketSlot& ts = ss.slots[handle_slot(handle)];
       if (!disp_.enqueue(rc, ts.key, handle)) {
         stats::count(stats::Id::kSvcShed);
@@ -308,9 +416,17 @@ class KvService {
   bool queues_empty() const { return disp_.all_empty(); }
 
   // Direct map access for preload and post-run inspection AROUND measured
-  // sections — not a bypass of the pipeline during one.
+  // sections — not a bypass of the pipeline during one. In txn mode use
+  // txn() for the same purposes (the map's node values are not the
+  // authoritative store there).
   Map& map() { return map_; }
   typename Map::ThreadCtx make_map_ctx() { return map_.make_ctx(); }
+
+  Txn& txn() {
+    MOIR_ASSERT(cfg_.txn);
+    return *txn_;
+  }
+  typename Txn::ThreadCtx make_txn_ctx() { return txn().make_ctx(); }
 
   // ----- Shutdown ----------------------------------------------------------
 
@@ -334,13 +450,12 @@ class KvService {
  private:
   struct SessionState {
     explicit SessionState(const Config& cfg)
-        : slots(std::make_unique<TicketSlot[]>(cfg.tickets_per_session)),
-          ring(std::make_unique<SpscRing>(cfg.ring_capacity)) {
+        : slots(std::make_unique<TicketSlot[]>(cfg.tickets_per_session)) {
       free.reserve(cfg.tickets_per_session);
     }
 
     std::unique_ptr<TicketSlot[]> slots;
-    std::unique_ptr<SpscRing> ring;
+    Ring ring;
     std::vector<std::uint32_t> free;  // client-thread-private ticket stack
     typename Disp::ThreadCtx dctx;    // client-thread-only (direct mode)
     std::atomic<bool> live{false};
@@ -355,11 +470,32 @@ class KvService {
     session_reg_.release_process(sid);
   }
 
+  // Map a txn-layer status onto the wire Status. kNoSpace (node pool
+  // exhausted before any cell was written) is an EBUSY-class outcome: the
+  // request completed WITH an error and had no effect, same contract as a
+  // router-side shed.
+  static Status to_status(txn::TxnStatus s) {
+    switch (s) {
+      case txn::TxnStatus::kOk:
+        return Status::kOk;
+      case txn::TxnStatus::kMiss:
+        return Status::kNotFound;
+      case txn::TxnStatus::kNoSpace:
+        return Status::kOverload;
+    }
+    return Status::kOverload;
+  }
+
   template <class Observer>
   void execute(WorkerCtx& w, std::uint64_t handle, Observer&& obs) {
     SessionState& ss = *sessions_[handle_session(handle)];
     TicketSlot& ts = ss.slots[handle_slot(handle)];
     Response r;
+    if (cfg_.txn) {
+      execute_txn(*w.tctx, ts, r);
+      complete(ts, r, handle, obs);
+      return;
+    }
     switch (ts.op) {
       case Op::kFind: {
         const auto v = map_.find(w.mctx, ts.key);
@@ -379,8 +515,54 @@ class KvService {
         r.status =
             map_.erase(w.mctx, ts.key) ? Status::kOk : Status::kNotFound;
         break;
+      case Op::kMultiGet:
+      case Op::kMultiPut:
+      case Op::kMultiCas:
+        // Unreachable: submit_multi asserts cfg_.txn. Complete defensively
+        // rather than corrupt state.
+        r.status = Status::kOverload;
+        break;
     }
     complete(ts, r, handle, obs);
+  }
+
+  // Txn-mode execution: single-key verbs keep their map semantics but run
+  // through the txn layer (the Mcas cells are the authoritative store);
+  // multi-key ops are the new atomic transactions.
+  void execute_txn(typename Txn::ThreadCtx& tctx, TicketSlot& ts,
+                   Response& r) {
+    switch (ts.op) {
+      case Op::kFind: {
+        const auto v = txn_->get(tctx, ts.key);
+        r.status = v ? Status::kOk : Status::kNotFound;
+        r.value = v.value_or(0);
+        break;
+      }
+      case Op::kInsert:
+        r.status = to_status(txn_->insert(tctx, ts.key, ts.value));
+        break;
+      case Op::kUpsert:
+        r.status = to_status(txn_->upsert(tctx, ts.key, ts.value));
+        break;
+      case Op::kErase:
+        r.status =
+            txn_->erase(tctx, ts.key) ? Status::kOk : Status::kNotFound;
+        break;
+      case Op::kMultiGet:
+        txn_->multi_get(tctx, std::span(ts.keys, ts.nkeys),
+                        std::span(ts.resp_values, ts.nkeys));
+        r.status = Status::kOk;
+        break;
+      case Op::kMultiPut:
+        r.status = to_status(txn_->multi_put(
+            tctx, std::span(ts.keys, ts.nkeys), std::span(ts.args, ts.nkeys)));
+        break;
+      case Op::kMultiCas:
+        r.status = to_status(txn_->multi_cas(
+            tctx, std::span(ts.keys, ts.nkeys), std::span(ts.exps, ts.nkeys),
+            std::span(ts.args, ts.nkeys), std::span(ts.resp_values, ts.nkeys)));
+        break;
+    }
   }
 
   template <class Observer>
@@ -442,6 +624,9 @@ class KvService {
   // disp_/map_.
   Disp disp_;
   Map map_;
+  // Declared after map_ (hence destroyed first): TxnKv holds Map& plus
+  // the cell store; its per-worker ctxs die with the worker threads.
+  std::unique_ptr<Txn> txn_;
   ProcessRegistry session_reg_;
   std::vector<std::unique_ptr<SessionState>> sessions_;
   std::thread router_;

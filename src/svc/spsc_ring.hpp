@@ -21,11 +21,9 @@
 
 #include <atomic>
 #include <cstdint>
-#include <memory>
 #include <thread>
 
 #include "platform/yield_point.hpp"
-#include "util/assertion.hpp"
 #include "util/cache.hpp"
 
 namespace moir::svc {
@@ -62,15 +60,28 @@ class SpinWait {
 };
 
 // Fixed-capacity single-producer/single-consumer ring of uint64 handles.
-// Capacity is rounded up to a power of two; indices are free-running and
-// masked, so full/empty never needs a spare slot or a separate count.
+// Capacity is a compile-time power of two (enforced by static_assert, not
+// a runtime round-up); indices are free-running and masked, so full/empty
+// never needs a spare slot or a separate count.
+template <std::uint32_t kCap = 64>
 class SpscRing {
- public:
-  explicit SpscRing(std::uint32_t capacity)
-      : mask_(round_up_pow2(capacity) - 1),
-        slots_(std::make_unique<std::uint64_t[]>(mask_ + 1)) {}
+  static_assert(kCap >= 1 && kCap <= (1u << 30),
+                "ring capacity out of range");
+  static_assert((kCap & (kCap - 1)) == 0,
+                "ring capacity must be a power of two");
 
-  std::uint32_t capacity() const { return mask_ + 1; }
+ public:
+  SpscRing() = default;
+
+  static constexpr std::uint32_t capacity() { return kCap; }
+
+  // Occupancy estimate: exact for the consumer when the producer is quiet
+  // and vice versa, a snapshot otherwise (each index is read once).
+  std::uint32_t size() const {
+    return static_cast<std::uint32_t>(
+        tail_.idx.load(std::memory_order_acquire) -
+        head_.idx.load(std::memory_order_acquire));
+  }
 
   // Producer side. Returns false when the ring is full.
   bool try_push(std::uint64_t v) {
@@ -103,16 +114,11 @@ class SpscRing {
     return true;
   }
 
-  // Consumer-side occupancy estimate (exact when the producer is quiet).
-  std::uint32_t size_approx() const {
-    return static_cast<std::uint32_t>(
-        tail_.idx.load(std::memory_order_acquire) -
-        head_.idx.load(std::memory_order_acquire));
-  }
-
-  bool empty_approx() const { return size_approx() == 0; }
+  bool empty_approx() const { return size() == 0; }
 
  private:
+  static constexpr std::uint32_t mask_ = kCap - 1;
+
   // Each end gets its own cache line: the free-running index it owns plus
   // its private cache of the other end's index. The producer therefore
   // dirties only the tail line, the consumer only the head line.
@@ -121,15 +127,7 @@ class SpscRing {
     std::uint64_t cached_other = 0;
   };
 
-  static std::uint32_t round_up_pow2(std::uint32_t v) {
-    MOIR_ASSERT_MSG(v >= 1 && v <= (1u << 30), "ring capacity out of range");
-    std::uint32_t p = 1;
-    while (p < v) p <<= 1;
-    return p;
-  }
-
-  const std::uint32_t mask_;
-  std::unique_ptr<std::uint64_t[]> slots_;
+  std::uint64_t slots_[kCap];
   End head_;  // consumer-owned
   End tail_;  // producer-owned
 };

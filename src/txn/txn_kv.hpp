@@ -1,0 +1,314 @@
+// Multi-key atomic transactions over the sharded map, built from the
+// paper's multi-word primitives (Section 5 made end-to-end).
+//
+// TxnKv composes ShardedHashMap (PR 3) with Mcas/Stm (the ST/Barnes STM
+// over Figure 4 LL/VL/SC) into a transaction manager for atomic
+//
+//   * multi_get  — consistent snapshot read of k keys,
+//   * multi_put  — atomic multi-key write,
+//   * multi_cas  — k-key compare-and-swap (the RMW building block),
+//
+// plus the single-key verbs with map semantics, so single- and multi-key
+// traffic interleave linearizably on one store.
+//
+// Design: per-key value-cell registration. The map supplies a stable
+// HANDLE per key (find_or_insert_handle: the node's global index, minted
+// under the reclaimer bracket); the authoritative value of a key lives
+// NOT in the map node but in the Mcas cell at that handle — one STM cell
+// per possible node, allocated up front (handle_space() cells). A
+// multi-key write resolves its keys to handles, sorts the cell addresses
+// ascending, and runs one MCAS/MSET over them; the STM acquires cells in
+// that sorted order with helping, so cross-shard transactions cannot
+// livelock each other and the construction stays lock-free (every abort
+// is caused by another transaction's committed step).
+//
+// Cell encoding ("wire form"): 0 = key absent, v+1 = key present with
+// value v. Three consequences:
+//   * erase is a WRITE (cell := 0), not an unlink — nodes are never
+//     removed, so handles are stable and node presence is monotonic
+//     (insert-only discipline; do not call the map's erase() directly);
+//   * absence is lockable: a conditional insert is an mcas expecting 0,
+//     registered on the key's (pre-created) cell — exactly the per-key
+//     registration the descriptor needs to make "key must stay absent"
+//     part of the atomic comparison;
+//   * values are bounded by kMaxValue = Stm::kMaxValue - 1 (the +1 must
+//     still fit the 31-bit cell payload).
+//
+// multi_get is a DOUBLE-COLLECT over the substrate's tags (see
+// docs/ALGORITHMS.md "tags as version counters"): peek every cell's
+// {value, tag}, then re-resolve and re-peek; if every handle, tag, and
+// lock state is unchanged, the first collect was an atomic snapshot —
+// linearized anywhere between the collects. Locked cells are helped to
+// completion (txn_help), changed tags retry (txn_revalidate), so the read
+// path writes nothing and is obstruction-free, with every retry caused by
+// a concurrent committed write.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "core/llsc_traits.hpp"
+#include "map/sharded_map.hpp"
+#include "nonblocking/mcas.hpp"
+#include "platform/yield_point.hpp"
+#include "reclaim/reclaimer.hpp"
+#include "stats/stats.hpp"
+#include "util/assertion.hpp"
+
+namespace moir::txn {
+
+enum class TxnStatus : std::uint8_t {
+  kOk,       // applied (insert: inserted; upsert: inserted; cas: matched)
+  kMiss,     // comparison failed / key already present / updated in place
+  kNoSpace,  // a key's shard node pool is exhausted; nothing was written
+};
+
+template <SmallLlscSubstrate S, reclaim::Reclaimer R>
+class TxnKv {
+ public:
+  using Map = ShardedHashMap<S, R>;
+
+  static constexpr unsigned kMaxTxnKeys = Mcas::kMaxWords;
+  // Service values leave room for the +1 of the wire form.
+  static constexpr std::uint64_t kMaxValue = Mcas::kMaxValue - 1;
+  static constexpr std::uint64_t kAbsent = 0;  // wire form of "no value"
+
+  static constexpr std::uint64_t wire(std::uint64_t value) {
+    return value + 1;
+  }
+
+  struct ThreadCtx {
+    typename Map::ThreadCtx map;
+    Mcas::ThreadCtx mcas;
+  };
+
+  // `n_processes` bounds the LIFETIME count of ThreadCtxs (STM pids are
+  // leased per ctx and never returned). One cell per possible map node.
+  TxnKv(Map& map, unsigned n_processes)
+      : map_(map), mcas_(n_processes, map.handle_space()) {}
+
+  TxnKv(const TxnKv&) = delete;
+  TxnKv& operator=(const TxnKv&) = delete;
+
+  ThreadCtx make_ctx() {
+    return ThreadCtx{map_.make_ctx(), mcas_.make_ctx()};
+  }
+
+  Map& map() { return map_; }
+
+  // ----- single-key verbs (map semantics) ----------------------------------
+
+  std::optional<std::uint64_t> get(ThreadCtx& ctx, std::uint64_t key) {
+    const auto h = map_.locate_handle(ctx.map, key);
+    if (!h) return std::nullopt;
+    const std::uint64_t c = mcas_.read(ctx.mcas, *h);  // helps lockers
+    if (c == kAbsent) return std::nullopt;
+    return c - 1;
+  }
+
+  // kOk = inserted, kMiss = key already present (untouched), kNoSpace.
+  TxnStatus insert(ThreadCtx& ctx, std::uint64_t key, std::uint64_t value) {
+    MOIR_ASSERT(value <= kMaxValue);
+    const auto h = map_.find_or_insert_handle(ctx.map, key, value);
+    if (!h) return TxnStatus::kNoSpace;
+    const std::uint32_t addr[] = {*h};
+    const std::uint64_t exp[] = {kAbsent};
+    const std::uint64_t des[] = {wire(value)};
+    return mcas_.mcas(ctx.mcas, addr, exp, des) ? TxnStatus::kOk
+                                                : TxnStatus::kMiss;
+  }
+
+  // kOk = inserted, kMiss = updated in place, kNoSpace.
+  TxnStatus upsert(ThreadCtx& ctx, std::uint64_t key, std::uint64_t value) {
+    MOIR_ASSERT(value <= kMaxValue);
+    const auto h = map_.find_or_insert_handle(ctx.map, key, value);
+    if (!h) return TxnStatus::kNoSpace;
+    const std::uint32_t addr[] = {*h};
+    const std::uint64_t des[] = {wire(value)};
+    std::uint64_t old[1];
+    mcas_.mset(ctx.mcas, addr, des, old);
+    return old[0] == kAbsent ? TxnStatus::kOk : TxnStatus::kMiss;
+  }
+
+  // true = was present (now absent). The node stays; only the cell clears.
+  bool erase(ThreadCtx& ctx, std::uint64_t key) {
+    const auto h = map_.locate_handle(ctx.map, key);
+    if (!h) return false;
+    const std::uint32_t addr[] = {*h};
+    const std::uint64_t des[] = {kAbsent};
+    std::uint64_t old[1];
+    mcas_.mset(ctx.mcas, addr, des, old);
+    return old[0] != kAbsent;
+  }
+
+  // ----- multi-key transactions --------------------------------------------
+  // Keys must be distinct; out/expected/desired/witness are parallel to
+  // `keys` in USER order (sorting happens internally). All cell-valued
+  // spans use the wire form: 0 = absent, v+1 = value v.
+
+  // Consistent snapshot read. out[i] = wire value of keys[i] at one
+  // instant between invocation and response. Always succeeds (retries
+  // internally; obstruction-free, every retry caused by a committed
+  // concurrent write).
+  void multi_get(ThreadCtx& ctx, std::span<const std::uint64_t> keys,
+                 std::span<std::uint64_t> out) {
+    const unsigned n = static_cast<unsigned>(keys.size());
+    MOIR_ASSERT(n >= 1 && n <= kMaxTxnKeys && out.size() == n);
+    stats::count(stats::Id::kTxnStart, 1, this);
+    stats::record(stats::HistId::kTxnKeys, n);
+
+    // Handles resolved in the first collect; kNoHandle = key had no node.
+    constexpr std::uint32_t kNoHandle = ~std::uint32_t{0};
+    std::uint32_t h1[kMaxTxnKeys];
+    std::uint64_t val[kMaxTxnKeys];
+    std::uint64_t tag[kMaxTxnKeys];
+    for (;;) {
+      bool retry = false;
+      // Collect 1: resolve handles, peek {value, tag}, help any locker.
+      for (unsigned i = 0; i < n && !retry; ++i) {
+        const auto h = map_.locate_handle(ctx.map, keys[i]);
+        h1[i] = h ? *h : kNoHandle;
+        if (!h) continue;  // monotonic: no node now => none earlier either
+        const auto v = mcas_.peek(*h);
+        if (v.locked) {
+          stats::count(stats::Id::kTxnHelp, 1, this);
+          mcas_.help_locked(v);
+          retry = true;
+          break;
+        }
+        val[i] = v.value;
+        tag[i] = v.tag;
+      }
+      // Collect 2: same handles, same tags, still unlocked => collect 1
+      // was an atomic snapshot.
+      for (unsigned i = 0; i < n && !retry; ++i) {
+        const auto h = map_.locate_handle(ctx.map, keys[i]);
+        if ((h ? *h : kNoHandle) != h1[i]) {
+          retry = true;
+          break;
+        }
+        if (!h) continue;
+        const auto v = mcas_.peek(*h);
+        if (v.locked) {
+          stats::count(stats::Id::kTxnHelp, 1, this);
+          mcas_.help_locked(v);
+          retry = true;
+          break;
+        }
+        if (v.tag != tag[i]) {
+          retry = true;
+          break;
+        }
+      }
+      if (!retry) break;
+      stats::count(stats::Id::kTxnRevalidate, 1, this);
+      MOIR_YIELD_POINT();
+    }
+    for (unsigned i = 0; i < n; ++i) {
+      out[i] = h1[i] == kNoHandle ? kAbsent : val[i];
+    }
+    stats::count(stats::Id::kTxnCommit, 1, this);
+  }
+
+  // Atomic multi-key write of plain values (all keys present afterwards).
+  // kNoSpace: some key's node could not be created; nothing was written.
+  TxnStatus multi_put(ThreadCtx& ctx, std::span<const std::uint64_t> keys,
+                      std::span<const std::uint64_t> values) {
+    const unsigned n = static_cast<unsigned>(keys.size());
+    MOIR_ASSERT(n >= 1 && n <= kMaxTxnKeys && values.size() == n);
+    stats::count(stats::Id::kTxnStart, 1, this);
+    stats::record(stats::HistId::kTxnKeys, n);
+
+    CellSet cs;
+    if (!resolve_sorted(ctx, keys, cs)) return TxnStatus::kNoSpace;
+    std::uint64_t des[kMaxTxnKeys];
+    for (unsigned j = 0; j < n; ++j) {
+      MOIR_ASSERT(values[cs.perm[j]] <= kMaxValue);
+      des[j] = wire(values[cs.perm[j]]);
+    }
+    mcas_.mset(ctx.mcas, std::span(cs.cells, n), std::span(des, n));
+    stats::count(stats::Id::kTxnCommit, 1, this);
+    return TxnStatus::kOk;
+  }
+
+  // k-key CAS in wire form: atomically, iff every key's cell holds
+  // expected[i] (0 = "must be absent"), write desired[i] (0 = erase).
+  // `witness` (optional) receives the consistent snapshot the committed
+  // transaction read — on kMiss, the values that refuted the comparison.
+  // Absent keys get their node (and cell) created first, so absence is
+  // registered and locked like any other expectation.
+  TxnStatus multi_cas(ThreadCtx& ctx, std::span<const std::uint64_t> keys,
+                      std::span<const std::uint64_t> expected,
+                      std::span<const std::uint64_t> desired,
+                      std::span<std::uint64_t> witness = {}) {
+    const unsigned n = static_cast<unsigned>(keys.size());
+    MOIR_ASSERT(n >= 1 && n <= kMaxTxnKeys);
+    MOIR_ASSERT(expected.size() == n && desired.size() == n);
+    MOIR_ASSERT(witness.empty() || witness.size() == n);
+    stats::count(stats::Id::kTxnStart, 1, this);
+    stats::record(stats::HistId::kTxnKeys, n);
+
+    CellSet cs;
+    if (!resolve_sorted(ctx, keys, cs)) return TxnStatus::kNoSpace;
+    std::uint64_t exp[kMaxTxnKeys];
+    std::uint64_t des[kMaxTxnKeys];
+    for (unsigned j = 0; j < n; ++j) {
+      MOIR_ASSERT(expected[cs.perm[j]] <= Mcas::kMaxValue &&
+                  desired[cs.perm[j]] <= Mcas::kMaxValue);
+      exp[j] = expected[cs.perm[j]];
+      des[j] = desired[cs.perm[j]];
+    }
+    std::uint64_t wit[kMaxTxnKeys];
+    const bool ok = mcas_.mcas(ctx.mcas, std::span(cs.cells, n),
+                               std::span(exp, n), std::span(des, n),
+                               std::span(wit, n));
+    if (!witness.empty()) {
+      for (unsigned j = 0; j < n; ++j) witness[cs.perm[j]] = wit[j];
+    }
+    stats::count(ok ? stats::Id::kTxnCommit : stats::Id::kTxnAbort, 1, this);
+    return ok ? TxnStatus::kOk : TxnStatus::kMiss;
+  }
+
+  Stm::Stats stm_stats() const { return mcas_.stats(); }
+
+ private:
+  // A write set: cell addresses sorted ascending (the STM's acquisition
+  // order) plus the permutation back to user order (perm[j] = user index
+  // of sorted position j).
+  struct CellSet {
+    std::uint32_t cells[kMaxTxnKeys];
+    unsigned perm[kMaxTxnKeys];
+  };
+
+  // Resolve every key to its cell (creating absent keys' nodes) and sort.
+  // Distinct keys have distinct nodes, hence distinct cells; duplicate
+  // keys in one transaction are a caller bug the sort assertion catches.
+  bool resolve_sorted(ThreadCtx& ctx, std::span<const std::uint64_t> keys,
+                      CellSet& cs) {
+    const unsigned n = static_cast<unsigned>(keys.size());
+    for (unsigned i = 0; i < n; ++i) {
+      const auto h = map_.find_or_insert_handle(ctx.map, keys[i], 0);
+      if (!h) return false;
+      // Insertion sort by cell address (n <= 8).
+      unsigned j = i;
+      while (j > 0 && cs.cells[j - 1] > *h) {
+        cs.cells[j] = cs.cells[j - 1];
+        cs.perm[j] = cs.perm[j - 1];
+        --j;
+      }
+      cs.cells[j] = *h;
+      cs.perm[j] = i;
+    }
+    for (unsigned j = 0; j + 1 < n; ++j) {
+      MOIR_ASSERT_MSG(cs.cells[j] < cs.cells[j + 1],
+                      "transaction keys must be distinct");
+    }
+    return true;
+  }
+
+  Map& map_;
+  Mcas mcas_;
+};
+
+}  // namespace moir::txn

@@ -23,6 +23,12 @@ enum class OpKind : std::uint8_t {
   kMapErase,   // arg: key            ret: 1 erased / 0 absent
   kMapFind,    // arg: key            ret: value+1 found / 0 absent
   kMapUpsert,  // arg: key<<32|value  ret: 1 inserted / 0 updated in place
+  // Two-key transactions over the map (see TxnSpec for the packings;
+  // c/e/d/w below are WIRE-FORM cell values: 0 = absent, v+1 = value v).
+  kTxnMGet,  // arg: k1<<8|k2                          ret: c1<<16|c2
+  kTxnMPut,  // arg: k1<<48|k2<<32|v1<<16|v2           ret: 1
+  kTxnMCas,  // arg: k1<<56|k2<<48|e1<<36|e2<<24|d1<<12|d2
+             // ret: matched<<24|w1<<12|w2
 };
 
 struct Operation {

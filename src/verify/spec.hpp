@@ -188,4 +188,89 @@ struct SvcSpec {
   }
 };
 
+// Transactional KV spec: the txn-mode service interleaves single-key map
+// ops with two-key transactions on ONE store. State is MapSpec's — the
+// map's v[k] (value+1, 0 = absent) is exactly the txn layer's wire form,
+// so transactional cells need no second encoding. Sheds (and kNoSpace
+// completions, which the service reports as kOverload) are no-ops, same
+// as SvcSpec. Packings hold two keys < kMaxKeys and small values; the
+// kTxnMCas expected/desired/witness fields are 12-bit WIRE-FORM words.
+struct TxnSpec {
+  static constexpr std::uint64_t kShed = SvcSpec::kShed;
+  static constexpr unsigned kMaxKeys = MapSpec::kMaxKeys;
+
+  using State = MapSpec::State;
+
+  static std::uint64_t pack_args(std::uint64_t key, std::uint64_t value) {
+    return MapSpec::pack_args(key, value);
+  }
+
+  static std::uint64_t pack_mget(std::uint64_t k1, std::uint64_t k2) {
+    return k1 << 8 | k2;
+  }
+  static std::uint64_t mget_ret(std::uint64_t c1, std::uint64_t c2) {
+    return c1 << 16 | c2;
+  }
+  static std::uint64_t pack_mput(std::uint64_t k1, std::uint64_t k2,
+                                 std::uint64_t v1, std::uint64_t v2) {
+    return k1 << 48 | k2 << 32 | v1 << 16 | v2;
+  }
+  static std::uint64_t pack_mcas(std::uint64_t k1, std::uint64_t k2,
+                                 std::uint64_t e1, std::uint64_t e2,
+                                 std::uint64_t d1, std::uint64_t d2) {
+    return k1 << 56 | k2 << 48 | e1 << 36 | e2 << 24 | d1 << 12 | d2;
+  }
+  static std::uint64_t mcas_ret(bool matched, std::uint64_t w1,
+                                std::uint64_t w2) {
+    return static_cast<std::uint64_t>(matched) << 24 | w1 << 12 | w2;
+  }
+
+  static std::uint64_t hash(const State& s) { return MapSpec::hash(s); }
+
+  static std::optional<State> apply(const State& s, const Operation& op) {
+    if (op.ret == kShed) return s;  // no effect, any position legal
+    State next = s;
+    switch (op.kind) {
+      case OpKind::kTxnMGet: {
+        const std::uint64_t k1 = op.arg >> 8 & 0xff;
+        const std::uint64_t k2 = op.arg & 0xff;
+        if (k1 >= kMaxKeys || k2 >= kMaxKeys) return std::nullopt;
+        if (op.ret != mget_ret(s.v[k1], s.v[k2])) return std::nullopt;
+        return next;
+      }
+      case OpKind::kTxnMPut: {
+        const std::uint64_t k1 = op.arg >> 48 & 0xffff;
+        const std::uint64_t k2 = op.arg >> 32 & 0xffff;
+        if (k1 >= kMaxKeys || k2 >= kMaxKeys) return std::nullopt;
+        if (op.ret != 1) return std::nullopt;
+        next.v[k1] = (op.arg >> 16 & 0xffff) + 1;
+        next.v[k2] = (op.arg & 0xffff) + 1;
+        return next;
+      }
+      case OpKind::kTxnMCas: {
+        const std::uint64_t k1 = op.arg >> 56 & 0xff;
+        const std::uint64_t k2 = op.arg >> 48 & 0xff;
+        if (k1 >= kMaxKeys || k2 >= kMaxKeys) return std::nullopt;
+        const std::uint64_t e1 = op.arg >> 36 & 0xfff;
+        const std::uint64_t e2 = op.arg >> 24 & 0xfff;
+        const std::uint64_t d1 = op.arg >> 12 & 0xfff;
+        const std::uint64_t d2 = op.arg & 0xfff;
+        const bool matched = s.v[k1] == e1 && s.v[k2] == e2;
+        // The witness is the snapshot the transaction read: always the
+        // current state, whether or not the comparison matched.
+        if (op.ret != mcas_ret(matched, s.v[k1], s.v[k2])) {
+          return std::nullopt;
+        }
+        if (matched) {
+          next.v[k1] = d1;
+          next.v[k2] = d2;
+        }
+        return next;
+      }
+      default:
+        return MapSpec::apply(s, op);
+    }
+  }
+};
+
 }  // namespace moir

@@ -78,6 +78,31 @@ TEST(ProcessRegistry, RecyclingSurvivesManyGenerations) {
   }
 }
 
+TEST(ProcessRegistry, LeaseReuseAfterThreadExit) {
+  // A short-lived thread that releases its lease on the way out leaves
+  // the pool as it found it: a thread born after the join leases the SAME
+  // dense id, so arrays sized for concurrent holders survive unbounded
+  // thread churn (the explorer's fresh-threads-per-trial pattern, and the
+  // service's session recycling).
+  ProcessRegistry r(2);
+  const unsigned keeper = r.register_process();  // pin one id for contrast
+  unsigned first = 99, second = 99;
+  std::thread t1([&] {
+    first = r.register_process();
+    r.release_process(first);  // released at thread exit
+  });
+  t1.join();
+  std::thread t2([&] {
+    second = r.register_process();
+    r.release_process(second);
+  });
+  t2.join();
+  EXPECT_EQ(first, second) << "the released lease was not reused";
+  EXPECT_NE(first, keeper);
+  EXPECT_EQ(r.registered(), 2u)
+      << "reuse must come from the free list, not a fresh mint";
+}
+
 TEST(ProcessRegistry, ConcurrentRegisterReleaseChurn) {
   ProcessRegistry r(8);
   run_threads(8, [&](std::size_t) {

@@ -45,6 +45,56 @@ class CountingScope {
   bool was_;
 };
 
+TEST(SpscRing, SizeAndCapacityObservers) {
+  svc::SpscRing<8> ring;
+  static_assert(svc::SpscRing<8>::capacity() == 8);
+  static_assert(svc::SpscRing<>::capacity() == 64);
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_TRUE(ring.empty_approx());
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    EXPECT_TRUE(ring.try_push(i));
+    EXPECT_EQ(ring.size(), i + 1);
+  }
+  EXPECT_FALSE(ring.try_push(99)) << "full ring must refuse";
+  EXPECT_EQ(ring.size(), ring.capacity());
+  std::uint64_t v = 0;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    EXPECT_TRUE(ring.try_pop(v));
+    EXPECT_EQ(v, i);
+    EXPECT_EQ(ring.size(), 7 - i);
+  }
+  EXPECT_FALSE(ring.try_pop(v));
+  EXPECT_TRUE(ring.empty_approx());
+  // Free-running indices: size stays exact after wraparound of the mask.
+  for (int lap = 0; lap < 3; ++lap) {
+    for (std::uint64_t i = 0; i < 5; ++i) EXPECT_TRUE(ring.try_push(i));
+    EXPECT_EQ(ring.size(), 5u);
+    for (std::uint64_t i = 0; i < 5; ++i) EXPECT_TRUE(ring.try_pop(v));
+    EXPECT_EQ(ring.size(), 0u);
+  }
+}
+
+// The router's key->queue hash must spread a dense key space evenly:
+// chi-squared over 1e5 sequential keys into 4 queues, against a cutoff
+// far beyond df=3 noise (p << 1e-4) — catches a route that degenerates
+// to low bits or collapses shards, not ordinary variance.
+TEST(Dispatcher, KeyHashShardDistribution) {
+  Sub sub;
+  svc::Dispatcher<Sub, EpochReclaimer> disp(sub, 2, 4, 16);
+  constexpr unsigned kKeys = 100000;
+  std::array<unsigned, 4> counts{};
+  for (std::uint64_t k = 0; k < kKeys; ++k) counts[disp.queue_of(k)]++;
+  const double expected = kKeys / 4.0;
+  double chi2 = 0;
+  for (const unsigned c : counts) {
+    const double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, 30.0) << counts[0] << " " << counts[1] << " " << counts[2]
+                        << " " << counts[3];
+  for (const unsigned c : counts) EXPECT_GT(c, 0u);
+}
+
 TEST(KvService, EndToEndRoundTrip) {
   Sub sub;
   Svc svc(sub, {.queues = 2,
@@ -151,24 +201,26 @@ TEST(KvService, ShedOnFullWindow) {
 // node pool makes the ROUTER complete the ticket with kOverload instead of
 // blocking on the executor.
 TEST(KvService, RingAndQueueOverload) {
+  // Ring capacity is a compile-time parameter now; this test wants a tiny
+  // 4-entry ring, so it instantiates its own service type.
+  using Svc4 = svc::KvService<Sub, EpochReclaimer, 4>;
   Sub sub;
-  Svc svc(sub, {.queues = 1,
-                .queue_capacity = 2,  // dummy node + 1 usable
-                .workers = 0,
-                .batch = 16,
-                .max_sessions = 1,
-                .tickets_per_session = 8,
-                .ring_capacity = 4,
-                .use_rings = true,
-                .map = {.shards = 1, .buckets_per_shard = 4,
-                        .capacity_per_shard = 32}});
+  Svc4 svc(sub, {.queues = 1,
+                 .queue_capacity = 2,  // dummy node + 1 usable
+                 .workers = 0,
+                 .batch = 16,
+                 .max_sessions = 1,
+                 .tickets_per_session = 8,
+                 .use_rings = true,
+                 .map = {.shards = 1, .buckets_per_shard = 4,
+                         .capacity_per_shard = 32}});
   auto c = svc.connect();
   auto rc = svc.make_router_ctx();
   auto w = svc.make_worker_ctx();
 
   // Phase 1: three requests reach the router, but the shard queue has one
   // free node — the surplus two complete kOverload at the router.
-  std::vector<Svc::Ticket> issued;
+  std::vector<Svc4::Ticket> issued;
   for (int i = 0; i < 3; ++i) {
     const auto t = svc.submit(c, Op::kInsert, i, i);
     ASSERT_TRUE(t.has_value());
@@ -391,7 +443,6 @@ Svc::Config lin_config(bool use_rings) {
           .batch = 4,
           .max_sessions = 2,
           .tickets_per_session = 8,
-          .ring_capacity = 8,
           .use_rings = use_rings,
           .map = {.shards = 1, .buckets_per_shard = 1,
                   .capacity_per_shard = 16}};

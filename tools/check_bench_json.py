@@ -28,7 +28,8 @@ REQUIRED_COUNTERS = [
     "tag_exhaustion", "help_rounds", "word_copies", "stm_commit",
     "stm_abort", "stm_help", "epoch_advance", "hp_scan", "node_retire",
     "node_free", "alloc_exhaustion", "svc_enqueue", "svc_batch", "svc_shed",
-    "svc_drain",
+    "svc_drain", "txn_start", "txn_commit", "txn_abort", "txn_help",
+    "txn_revalidate",
 ]
 REQUIRED_RUN = ["name", "threads", "ops", "secs", "ns_per_op", "mops",
                 "latency_ns", "counters"]
@@ -36,7 +37,7 @@ REQUIRED_RUN = ["name", "threads", "ops", "secs", "ns_per_op", "mops",
 # fields p50/p90/p99 predate these and stay).
 REQUIRED_PERCENTILES = ["p50i", "p95", "p99i", "p999"]
 # Histogram catalogue entries every report must include (zeros allowed).
-REQUIRED_HISTOGRAMS = ["batch_size", "svc_latency"]
+REQUIRED_HISTOGRAMS = ["batch_size", "svc_latency", "txn_keys"]
 
 
 def fail(msg):
