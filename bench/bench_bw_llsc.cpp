@@ -1,0 +1,220 @@
+// E15 (Blelloch–Wei pointer-width LL/SC): single-cell LL/VL/SC costs for
+// the figbw substrate, head-to-head with Figure 4 (CAS + unbounded tag) and
+// Figure 7 (bounded tags) on the same contended-increment loop.
+//
+// What the comparison isolates: figbw pays one seq_cst announcement store
+// per LL (the hazard-pointer store-load fence) plus an amortized O(1)
+// descriptor allocation per SC, and in exchange keeps all 64 value bits —
+// fig4 steals tag bits from the word, fig7 bounds tags with Θ(N(k+T))
+// space and a tag-queue recycle protocol. VL is one load for all three.
+// The exported counters (bw_announce, bw_help, bw_alloc_reuse) report how
+// much announcement and recycling traffic the workload actually generated.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "core/bounded_llsc.hpp"
+#include "core/bw_llsc.hpp"
+#include "core/llsc_traits.hpp"
+
+namespace {
+
+using Bw = moir::BwLlsc<>;
+using Fig4 = moir::CasBackedLlsc<16>;
+using Fig7 = moir::BoundedLlsc<>;
+
+void BM_BwLlScPair(benchmark::State& state) {
+  Bw s(1, 1);
+  Bw::Var var;
+  s.init_var(var, 0);
+  auto ctx = s.make_ctx();
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    Bw::Keep keep;
+    const std::uint64_t v = s.ll(ctx, var, keep);
+    benchmark::DoNotOptimize(s.sc(ctx, var, keep, v + ++i));
+  }
+}
+BENCHMARK(BM_BwLlScPair);
+
+void BM_BwLlVlScTriple(benchmark::State& state) {
+  Bw s(1, 1);
+  Bw::Var var;
+  s.init_var(var, 0);
+  auto ctx = s.make_ctx();
+  for (auto _ : state) {
+    Bw::Keep keep;
+    const std::uint64_t v = s.ll(ctx, var, keep);
+    benchmark::DoNotOptimize(s.vl(ctx, var, keep));
+    benchmark::DoNotOptimize(s.sc(ctx, var, keep, v + 1));
+  }
+}
+BENCHMARK(BM_BwLlVlScTriple);
+
+void BM_BwVlOnly(benchmark::State& state) {
+  Bw s(1, 1);
+  Bw::Var var;
+  s.init_var(var, 0);
+  auto ctx = s.make_ctx();
+  Bw::Keep keep;
+  s.ll(ctx, var, keep);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.vl(ctx, var, keep));
+  }
+  s.cl(ctx, keep);
+}
+BENCHMARK(BM_BwVlOnly);
+
+// The context-free seqlock read: two descriptor loads + two validations.
+void BM_BwReadOnly(benchmark::State& state) {
+  Bw s(1, 1);
+  Bw::Var var;
+  s.init_var(var, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.read(var));
+  }
+}
+BENCHMARK(BM_BwReadOnly);
+
+void contention_table(moir::bench::Harness& h) {
+  h.header(
+      "E15 table: LL;SC increment under contention — figbw vs fig4 vs fig7",
+      "pointer-width CAS with announcement-based reuse protection keeps "
+      "full 64-bit values at a per-LL announcement cost; tags (fig4/fig7) "
+      "pay in value width or bounded-tag space instead");
+
+  const std::uint64_t kOps = moir::bench::scaled(200000);
+  moir::Table t("ns/op by substrate and thread count (LL;SC until success)");
+  t.columns({"threads", "figbw", "fig4", "fig7"});
+  for (unsigned threads : {1u, 2u, 4u, 8u}) {
+    // figbw: pointer-width CAS, 64-bit values.
+    Bw bw(threads, /*k=*/1);
+    Bw::Var bw_var;
+    bw.init_var(bw_var, 0);
+    std::vector<Bw::ThreadCtx> bw_ctxs;
+    bw_ctxs.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i) bw_ctxs.push_back(bw.make_ctx());
+    const auto& r_bw = h.run_ops(
+        "figbw_llsc/t" + std::to_string(threads), threads, kOps,
+        [&](std::size_t tid, std::uint64_t) {
+          for (;;) {
+            Bw::Keep keep;
+            const std::uint64_t v = bw.ll(bw_ctxs[tid], bw_var, keep);
+            if (bw.sc(bw_ctxs[tid], bw_var, keep, v + 1)) break;
+          }
+        });
+
+    // Figure 4: one CAS, 16-bit values (tag steals the rest).
+    Fig4 f4;
+    Fig4::Var f4_var;
+    f4.init_var(f4_var, 0);
+    auto f4_ctx = f4.make_ctx();  // stateless; shareable across threads
+    const auto& r_f4 = h.run_ops(
+        "fig4_llsc/t" + std::to_string(threads), threads, kOps,
+        [&](std::size_t, std::uint64_t) {
+          for (;;) {
+            Fig4::Keep keep;
+            const std::uint64_t v = f4.ll(f4_ctx, f4_var, keep);
+            if (f4.sc(f4_ctx, f4_var, keep, (v + 1) & f4.max_value())) break;
+          }
+        });
+
+    // Figure 7: bounded tags, per-process announcement + tag queue.
+    Fig7 f7(threads, /*k=*/1);
+    Fig7::Var f7_var;
+    f7.init_var(f7_var, 0);
+    std::vector<Fig7::ThreadCtx> f7_ctxs;
+    f7_ctxs.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i) f7_ctxs.push_back(f7.make_ctx());
+    const auto& r_f7 = h.run_ops(
+        "fig7_llsc/t" + std::to_string(threads), threads, kOps,
+        [&](std::size_t tid, std::uint64_t) {
+          for (;;) {
+            Fig7::Keep keep;
+            const std::uint64_t v = f7.ll(f7_ctxs[tid], f7_var, keep);
+            if (f7.sc(f7_ctxs[tid], f7_var, keep,
+                      (v + 1) & f7.max_value())) {
+              break;
+            }
+          }
+        });
+
+    t.row({moir::Table::num(threads), moir::Table::num(r_bw.ns_op(), 1),
+           moir::Table::num(r_f4.ns_op(), 1),
+           moir::Table::num(r_f7.ns_op(), 1)});
+  }
+  h.table(t);
+}
+
+void read_table(moir::bench::Harness& h) {
+  const std::uint64_t kOps = moir::bench::scaled(400000);
+  moir::Table t("context-free read() under write churn, ns/op (readers = "
+                "threads - 1, one LL;SC writer)");
+  t.columns({"threads", "figbw_read", "fig4_read"});
+  for (unsigned threads : {2u, 4u, 8u}) {
+    Bw bw(threads, /*k=*/1);
+    Bw::Var bw_var;
+    bw.init_var(bw_var, 0);
+    std::vector<Bw::ThreadCtx> bw_ctxs;
+    bw_ctxs.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i) bw_ctxs.push_back(bw.make_ctx());
+    const auto& r_bw = h.run_ops(
+        "figbw_read/t" + std::to_string(threads), threads, kOps,
+        [&](std::size_t tid, std::uint64_t) {
+          if (tid == 0) {  // writer: keeps descriptors churning
+            Bw::Keep keep;
+            const std::uint64_t v = bw.ll(bw_ctxs[tid], bw_var, keep);
+            (void)bw.sc(bw_ctxs[tid], bw_var, keep, v + 1);
+          } else {
+            benchmark::DoNotOptimize(bw.read(bw_var));
+          }
+        });
+
+    Fig4 f4;
+    Fig4::Var f4_var;
+    f4.init_var(f4_var, 0);
+    auto f4_ctx = f4.make_ctx();
+    const auto& r_f4 = h.run_ops(
+        "fig4_read/t" + std::to_string(threads), threads, kOps,
+        [&](std::size_t tid, std::uint64_t) {
+          if (tid == 0) {
+            Fig4::Keep keep;
+            const std::uint64_t v = f4.ll(f4_ctx, f4_var, keep);
+            (void)f4.sc(f4_ctx, f4_var, keep, (v + 1) & f4.max_value());
+          } else {
+            benchmark::DoNotOptimize(f4.read(f4_var));
+          }
+        });
+
+    t.row({moir::Table::num(threads), moir::Table::num(r_bw.ns_op(), 1),
+           moir::Table::num(r_f4.ns_op(), 1)});
+  }
+  h.table(t);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  moir::bench::Harness h(argc, argv, "bench_bw_llsc");
+  if (h.micro()) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  contention_table(h);
+  read_table(h);
+
+  // Space accounting next to fig4's zero-overhead claim: figbw's Var is one
+  // 32-bit word, but the domain carries Nk announcement slots plus the
+  // descriptor pool (the price of full-width values without DWCAS).
+  Bw probe(8, 2);
+  h.metric("sizeof_var_bytes", static_cast<double>(sizeof(Bw::Var)));
+  h.metric("shared_overhead_words_n8_k2",
+           static_cast<double>(probe.shared_overhead_words(1)));
+  h.printf("\nspace: sizeof(Var)=%zu; shared overhead at N=8,k=2: %zu words "
+           "(announcements + descriptor pool)\n",
+           sizeof(Bw::Var), probe.shared_overhead_words(1));
+  return h.finish();
+}

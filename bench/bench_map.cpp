@@ -22,6 +22,7 @@
 
 #include "bench/common.hpp"
 #include "core/bounded_llsc.hpp"
+#include "core/bw_llsc.hpp"
 #include "core/llsc_traits.hpp"
 #include "map/sharded_map.hpp"
 #include "reclaim/epoch.hpp"
@@ -140,6 +141,13 @@ void sweep_substrates(moir::bench::Harness& h, const char* rec_name,
                std::to_string(threads),
         fig7, threads, 50, /*zipfian=*/true, ops_each);
   }
+  for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+    moir::BwLlsc<> figbw(threads + 2, /*k=*/2);
+    ycsb_run<moir::BwLlsc<>, moir::ShardedHashMap<moir::BwLlsc<>, R>>(
+        h, std::string("ycsb-a/figbw/") + rec_name + "/t" +
+               std::to_string(threads),
+        figbw, threads, 50, /*zipfian=*/true, ops_each);
+  }
 }
 
 }  // namespace
@@ -193,15 +201,17 @@ int main(int argc, char** argv) {
 
   {
     moir::Table t("YCSB-A zipfian(0.99) 50/50 read-update (Mops/s)");
-    t.columns({"threads", "fig4/epoch", "fig7/epoch", "fig4/hazard",
-               "fig7/hazard"});
+    t.columns({"threads", "fig4/epoch", "fig7/epoch", "figbw/epoch",
+               "fig4/hazard", "fig7/hazard", "figbw/hazard"});
     for (const unsigned threads : {1u, 2u, 4u, 8u}) {
       const std::string ts = "/t" + std::to_string(threads);
       t.row({moir::Table::num(threads),
              moir::Table::num(mops_of("ycsb-a/fig4/epoch" + ts), 2),
              moir::Table::num(mops_of("ycsb-a/fig7/epoch" + ts), 2),
+             moir::Table::num(mops_of("ycsb-a/figbw/epoch" + ts), 2),
              moir::Table::num(mops_of("ycsb-a/fig4/hazard" + ts), 2),
-             moir::Table::num(mops_of("ycsb-a/fig7/hazard" + ts), 2)});
+             moir::Table::num(mops_of("ycsb-a/fig7/hazard" + ts), 2),
+             moir::Table::num(mops_of("ycsb-a/figbw/hazard" + ts), 2)});
     }
     h.table(t);
   }

@@ -29,6 +29,7 @@
 
 #include "bench/common.hpp"
 #include "core/bounded_llsc.hpp"
+#include "core/bw_llsc.hpp"
 #include "core/llsc_traits.hpp"
 #include "reclaim/epoch.hpp"
 #include "svc/service.hpp"
@@ -317,6 +318,11 @@ int main(int argc, char** argv) {
     closed_loop_run(h, "batch/fig7/B" + std::to_string(batch) + "/t8", fig7,
                     8, batch, 4, /*use_rings=*/true);
   }
+  for (const unsigned batch : {1u, 4u, 16u, 64u}) {
+    moir::BwLlsc<> figbw(fig7_processes(8, 4), /*k=*/3);
+    closed_loop_run(h, "batch/figbw/B" + std::to_string(batch) + "/t8",
+                    figbw, 8, batch, 4, /*use_rings=*/true);
+  }
 
   // Client scaling at B=16 on fig4.
   for (const unsigned clients : {1u, 2u, 4u}) {
@@ -357,11 +363,12 @@ int main(int argc, char** argv) {
 
   {
     moir::Table t("closed loop, 8 clients: batch size x substrate (Mops/s)");
-    t.columns({"batch", "fig4/epoch", "fig7/epoch"});
+    t.columns({"batch", "fig4/epoch", "fig7/epoch", "figbw/epoch"});
     for (const unsigned batch : {1u, 4u, 16u, 64u}) {
       const std::string b = "B" + std::to_string(batch);
       t.row({b, moir::Table::num(mops_of("batch/fig4/" + b + "/t8"), 3),
-             moir::Table::num(mops_of("batch/fig7/" + b + "/t8"), 3)});
+             moir::Table::num(mops_of("batch/fig7/" + b + "/t8"), 3),
+             moir::Table::num(mops_of("batch/figbw/" + b + "/t8"), 3)});
     }
     h.table(t);
   }

@@ -23,6 +23,7 @@
 
 #include "bench/common.hpp"
 #include "core/bounded_llsc.hpp"
+#include "core/bw_llsc.hpp"
 #include "core/llsc_traits.hpp"
 #include "reclaim/epoch.hpp"
 #include "txn/txn_kv.hpp"
@@ -226,17 +227,28 @@ int main(int argc, char** argv) {
       moir::BoundedLlsc<> fig7(kCtxBudget, /*k=*/3);
       read_write_run(h, run_name("rw", "fig7", k), fig7, k);
     }
+    {
+      moir::BwLlsc<> figbw(kCtxBudget, /*k=*/3);
+      read_only_run(h, run_name("ro", "figbw", k), figbw, k);
+    }
+    {
+      moir::BwLlsc<> figbw(kCtxBudget, /*k=*/3);
+      read_write_run(h, run_name("rw", "figbw", k), figbw, k);
+    }
   }
 
   {
     moir::Table t("transactions, 8 threads: k x mode x substrate (Mops/s)");
-    t.columns({"k", "ro/fig4", "ro/fig7", "rw/fig4", "rw/fig7"});
+    t.columns({"k", "ro/fig4", "ro/fig7", "ro/figbw", "rw/fig4", "rw/fig7",
+               "rw/figbw"});
     for (const unsigned k : {2u, 4u, 8u}) {
       t.row({"k" + std::to_string(k),
              moir::Table::num(mops_of(run_name("ro", "fig4", k)), 3),
              moir::Table::num(mops_of(run_name("ro", "fig7", k)), 3),
+             moir::Table::num(mops_of(run_name("ro", "figbw", k)), 3),
              moir::Table::num(mops_of(run_name("rw", "fig4", k)), 3),
-             moir::Table::num(mops_of(run_name("rw", "fig7", k)), 3)});
+             moir::Table::num(mops_of(run_name("rw", "fig7", k)), 3),
+             moir::Table::num(mops_of(run_name("rw", "figbw", k)), 3)});
     }
     h.table(t);
   }

@@ -1,0 +1,293 @@
+// Concurrent fixed-size allocation and free in (amortized) constant time,
+// after Blelloch & Wei, arXiv:2008.04296.
+//
+// The plain BlockAllocator pushes and pops single blocks on one global
+// tagged-CAS free list, so every alloc/free is a contended CAS. This
+// allocator moves blocks in *chunks*: each thread keeps a private cache of
+// up to 2C free indices and only touches shared state when the cache runs
+// dry (pop one whole chunk) or overflows (push one whole chunk). The global
+// structure is a Treiber stack of chunks — the same {version:32, idx+1:32}
+// single-word tagged head as BlockAllocator, immune to ABA — but a thread
+// now performs one CAS per C operations instead of one per operation, which
+// is the paper's Θ(1) amortized bound with contention reduced by 1/C.
+//
+// Block and chunk links live in side arrays (`next_`, `chunk_next_`), never
+// in the node storage itself, so freed blocks can stay poisoned under ASan
+// while linked (poison-on-free is how tests/test_bw_allocator.cpp proves a
+// straggling reader is caught). Poisoning is constructor-selectable because
+// the Blelloch–Wei LL/SC substrate deliberately lets readers touch retired
+// descriptors (they are type-stable and revalidated); its pool passes
+// poison=false.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "platform/yield_point.hpp"
+#include "reclaim/block_allocator.hpp"  // for the MOIR_ASAN detection block
+#include "stats/stats.hpp"
+#include "util/assertion.hpp"
+
+namespace moir::reclaim {
+
+template <typename Node>
+class BwBlockAllocator {
+ public:
+  // `capacity` nodes are default-constructed, passed through `init`, then
+  // partitioned into free chunks of `chunk` blocks. `poison` selects the
+  // ASan poison-on-free behaviour (see header comment).
+  template <typename Init>
+  BwBlockAllocator(std::uint32_t capacity, Init&& init,
+                   std::uint32_t chunk = 16, bool poison = true)
+      : capacity_(capacity),
+        chunk_(chunk),
+        poison_(poison),
+        nodes_(std::make_unique<Node[]>(capacity)),
+        next_(std::make_unique<std::atomic<std::uint32_t>[]>(capacity)),
+        chunk_next_(std::make_unique<std::atomic<std::uint32_t>[]>(capacity)) {
+    MOIR_ASSERT_MSG(capacity >= 1, "allocator needs at least one block");
+    MOIR_ASSERT_MSG(chunk >= 1, "chunk size must be at least one block");
+    for (std::uint32_t i = 0; i < capacity_; ++i) init(nodes_[i]);
+    for (std::uint32_t i = 0; i < capacity_; ++i) poison_block(i);
+    // Carve [0, capacity) into chunks of `chunk` blocks (last one may be
+    // short) and stack them; the head is the last chunk carved.
+    std::uint32_t chead = 0;  // first_idx+1 encoding; 0 = empty stack
+    for (std::uint32_t base = 0; base < capacity_; base += chunk_) {
+      const std::uint32_t end =
+          base + chunk_ < capacity_ ? base + chunk_ : capacity_;
+      for (std::uint32_t i = base; i < end; ++i) {
+        next_[i].store(i + 1 < end ? i + 2 : 0, std::memory_order_relaxed);
+      }
+      chunk_next_[base].store(chead, std::memory_order_relaxed);
+      chead = base + 1;
+    }
+    head_.store(chead, std::memory_order_release);
+  }
+
+  explicit BwBlockAllocator(std::uint32_t capacity)
+      : BwBlockAllocator(capacity, [](Node&) {}) {}
+
+  ~BwBlockAllocator() {
+    for (std::uint32_t i = 0; i < capacity_; ++i) unpoison_block(i);
+  }
+
+  BwBlockAllocator(const BwBlockAllocator&) = delete;
+  BwBlockAllocator& operator=(const BwBlockAllocator&) = delete;
+
+  // Per-thread chunk cache. Destruction (and move-from) spills every cached
+  // index back to the global stack, so quiescent accounting holds once all
+  // contexts are gone.
+  class ThreadCtx {
+   public:
+    ThreadCtx(ThreadCtx&& other) noexcept
+        : owner_(other.owner_), cache_(std::move(other.cache_)) {
+      other.owner_ = nullptr;
+    }
+    ThreadCtx& operator=(ThreadCtx&& other) noexcept {
+      if (this != &other) {
+        if (owner_ != nullptr) owner_->spill_all(*this);
+        owner_ = other.owner_;
+        cache_ = std::move(other.cache_);
+        other.owner_ = nullptr;
+      }
+      return *this;
+    }
+    ThreadCtx(const ThreadCtx&) = delete;
+    ThreadCtx& operator=(const ThreadCtx&) = delete;
+
+    ~ThreadCtx() {
+      if (owner_ != nullptr) owner_->spill_all(*this);
+    }
+
+    std::size_t cached() const { return cache_.size(); }
+
+   private:
+    friend class BwBlockAllocator;
+    explicit ThreadCtx(BwBlockAllocator* owner) : owner_(owner) {
+      cache_.reserve(2 * owner->chunk_ + owner->chunk_);
+    }
+
+    BwBlockAllocator* owner_;
+    std::vector<std::uint32_t> cache_;
+  };
+
+  ThreadCtx make_ctx() { return ThreadCtx(this); }
+
+  // Pops a free block, refilling the private cache with one whole chunk
+  // when it is dry. Returns nullopt (and counts alloc_exhaustion) only when
+  // the global stack is also empty.
+  std::optional<std::uint32_t> alloc(ThreadCtx& ctx) {
+    MOIR_ASSERT(ctx.owner_ == this);
+    if (ctx.cache_.empty() && !refill(ctx)) {
+      stats::count(stats::Id::kAllocExhaustion, 1, this);
+      return std::nullopt;
+    }
+    const std::uint32_t idx = ctx.cache_.back();
+    ctx.cache_.pop_back();
+    unpoison_block(idx);
+    return idx;
+  }
+
+  // Returns a block to the private cache, spilling the oldest chunk to the
+  // global stack when the cache exceeds 2C — the hysteresis that keeps both
+  // alloc and free amortized constant time.
+  void free(ThreadCtx& ctx, std::uint32_t idx) {
+    MOIR_ASSERT(ctx.owner_ == this);
+    MOIR_ASSERT_MSG(idx < capacity_, "freeing an index outside the pool");
+    poison_block(idx);
+    ctx.cache_.push_back(idx);
+    if (ctx.cache_.size() > 2 * static_cast<std::size_t>(chunk_)) {
+      spill_chunk(ctx, chunk_);
+    }
+  }
+
+  // Context-free shims (BlockAllocator-compatible), for callers without a
+  // per-thread cache — e.g. quiescent init paths. alloc() pops a chunk,
+  // takes its first block, and pushes the remainder back.
+  std::optional<std::uint32_t> alloc() {
+    const auto first = pop_chunk();
+    if (!first.has_value()) {
+      stats::count(stats::Id::kAllocExhaustion, 1, this);
+      return std::nullopt;
+    }
+    const std::uint32_t rest = next_[*first].load(std::memory_order_relaxed);
+    if (rest != 0) push_chunk(rest - 1);
+    unpoison_block(*first);
+    return *first;
+  }
+
+  void free(std::uint32_t idx) {
+    MOIR_ASSERT_MSG(idx < capacity_, "freeing an index outside the pool");
+    poison_block(idx);
+    next_[idx].store(0, std::memory_order_relaxed);
+    push_chunk(idx);  // a single-block chunk
+  }
+
+  Node& node(std::uint32_t idx) {
+    MOIR_ASSERT(idx < capacity_);
+    return nodes_[idx];
+  }
+  const Node& node(std::uint32_t idx) const {
+    MOIR_ASSERT(idx < capacity_);
+    return nodes_[idx];
+  }
+
+  std::uint32_t capacity() const { return capacity_; }
+  std::uint32_t chunk() const { return chunk_; }
+
+  // Walks the chunk stack and every chunk's block list. Only meaningful
+  // when no thread is allocating or freeing AND all ThreadCtx caches have
+  // been spilled (destroyed); tests use it as the conservation hard check.
+  std::uint32_t free_count_quiescent() const {
+    std::uint32_t n = 0;
+    std::uint32_t cenc = static_cast<std::uint32_t>(
+        head_.load(std::memory_order_acquire) & 0xffffffffull);
+    while (cenc != 0 && n <= capacity_) {
+      std::uint32_t benc = cenc;
+      while (benc != 0 && n <= capacity_) {
+        ++n;
+        benc = next_[benc - 1].load(std::memory_order_relaxed);
+      }
+      cenc = chunk_next_[cenc - 1].load(std::memory_order_relaxed);
+    }
+    return n;
+  }
+
+ private:
+  // Links `count` cache entries (oldest first) into a chunk and pushes it.
+  void spill_chunk(ThreadCtx& ctx, std::size_t count) {
+    if (count > ctx.cache_.size()) count = ctx.cache_.size();
+    if (count == 0) return;
+    const std::uint32_t first = ctx.cache_[0];
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::uint32_t link =
+          i + 1 < count ? ctx.cache_[i + 1] + 1 : 0;
+      next_[ctx.cache_[i]].store(link, std::memory_order_relaxed);
+    }
+    ctx.cache_.erase(ctx.cache_.begin(),
+                     ctx.cache_.begin() + static_cast<std::ptrdiff_t>(count));
+    push_chunk(first);
+  }
+
+  void spill_all(ThreadCtx& ctx) {
+    while (!ctx.cache_.empty()) spill_chunk(ctx, chunk_);
+  }
+
+  bool refill(ThreadCtx& ctx) {
+    const auto first = pop_chunk();
+    if (!first.has_value()) return false;
+    for (std::uint32_t enc = *first + 1; enc != 0;
+         enc = next_[enc - 1].load(std::memory_order_relaxed)) {
+      ctx.cache_.push_back(enc - 1);
+    }
+    return true;
+  }
+
+  // Chunk-stack pop/push: the only shared-memory operations, one tagged CAS
+  // each. Reading chunk_next_ of a chunk we do not yet own may be stale, but
+  // then the head moved and the version tag fails the CAS (same argument as
+  // BlockAllocator's per-block list).
+  std::optional<std::uint32_t> pop_chunk() {
+    std::uint64_t head = head_.load(std::memory_order_acquire);
+    for (;;) {
+      const std::uint32_t enc =
+          static_cast<std::uint32_t>(head & 0xffffffffull);
+      if (enc == 0) return std::nullopt;
+      const std::uint32_t first = enc - 1;
+      MOIR_YIELD_UPDATE(this);
+      const std::uint64_t version = (head >> 32) + 1;
+      const std::uint64_t next =
+          (version << 32) | chunk_next_[first].load(std::memory_order_relaxed);
+      if (head_.compare_exchange_weak(head, next, std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+        return first;
+      }
+    }
+  }
+
+  void push_chunk(std::uint32_t first) {
+    std::uint64_t head = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      chunk_next_[first].store(static_cast<std::uint32_t>(head & 0xffffffffull),
+                               std::memory_order_relaxed);
+      MOIR_YIELD_UPDATE(this);
+      const std::uint64_t version = (head >> 32) + 1;
+      if (head_.compare_exchange_weak(head, (version << 32) | (first + 1),
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_relaxed)) {
+        return;
+      }
+    }
+  }
+
+  void poison_block(std::uint32_t idx) {
+#if MOIR_ASAN
+    if (poison_) __asan_poison_memory_region(&nodes_[idx], sizeof(Node));
+#else
+    (void)idx;
+#endif
+  }
+  void unpoison_block(std::uint32_t idx) {
+#if MOIR_ASAN
+    if (poison_) __asan_unpoison_memory_region(&nodes_[idx], sizeof(Node));
+#else
+    (void)idx;
+#endif
+  }
+
+  const std::uint32_t capacity_;
+  const std::uint32_t chunk_;
+  const bool poison_;
+  std::unique_ptr<Node[]> nodes_;
+  // Per-block link within a chunk (idx+1 encoding, 0 = chunk end).
+  std::unique_ptr<std::atomic<std::uint32_t>[]> next_;
+  // Per-chunk link, indexed by the chunk's first block (first+1 encoding).
+  std::unique_ptr<std::atomic<std::uint32_t>[]> chunk_next_;
+  // Chunk stack head: {version:32, first_idx+1:32}; low half 0 means empty.
+  std::atomic<std::uint64_t> head_{0};
+};
+
+}  // namespace moir::reclaim

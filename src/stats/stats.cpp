@@ -45,6 +45,9 @@ const char* name(Id id) {
     case Id::kTxnAbort: return "txn_abort";
     case Id::kTxnHelp: return "txn_help";
     case Id::kTxnRevalidate: return "txn_revalidate";
+    case Id::kBwAnnounce: return "bw_announce";
+    case Id::kBwHelp: return "bw_help";
+    case Id::kBwAllocReuse: return "bw_alloc_reuse";
     case Id::kNumIds: break;
   }
   return "unknown";

@@ -87,6 +87,9 @@ enum class Id : std::uint8_t {
   kTxnAbort,      // multi-key CAS committed with a comparison mismatch
   kTxnHelp,       // txn read path helped a locked cell's owner to completion
   kTxnRevalidate, // multi-get double-collect retried (tag/handle changed)
+  kBwAnnounce,    // Blelloch–Wei LL published a descriptor announcement
+  kBwHelp,        // BW LL/read retry round absorbed a concurrent SC's install
+  kBwAllocReuse,  // BW scan harvested an unannounced retired descriptor
   kNumIds
 };
 

@@ -1,0 +1,202 @@
+// BwBlockAllocator (Blelloch–Wei chunked constant-time alloc/free):
+// sequential semantics, chunk cache hysteresis, context-free shims, block
+// conservation as a hard check, and a multi-thread alloc/free storm that —
+// under the asan-reclaim preset — proves poison-on-free catches any use of
+// a block the allocator thinks is free. Suite names deliberately contain
+// "BlockAllocator" so the existing asan-reclaim ctest filter picks them up.
+#include "reclaim/bw_allocator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "stats/stats.hpp"
+#include "util/env.hpp"
+
+namespace moir::reclaim {
+namespace {
+
+struct Payload {
+  std::uint64_t stamp = 0;
+};
+
+using Alloc = BwBlockAllocator<Payload>;
+
+TEST(BwBlockAllocator, AllocFreeRoundTrip) {
+  Alloc a(8, [](Payload& p) { p.stamp = 7; }, /*chunk=*/4);
+  auto ctx = a.make_ctx();
+  const auto idx = a.alloc(ctx);
+  ASSERT_TRUE(idx.has_value());
+  EXPECT_EQ(a.node(*idx).stamp, 7u);
+  a.node(*idx).stamp = 42;
+  a.free(ctx, *idx);
+}
+
+TEST(BwBlockAllocator, AllBlocksDistinctAndInRange) {
+  constexpr std::uint32_t kCap = 37;  // not a multiple of chunk: short tail
+  Alloc a(kCap, [](Payload&) {}, /*chunk=*/5);
+  auto ctx = a.make_ctx();
+  std::set<std::uint32_t> seen;
+  for (std::uint32_t i = 0; i < kCap; ++i) {
+    const auto idx = a.alloc(ctx);
+    ASSERT_TRUE(idx.has_value()) << "pool dry after " << i << " of " << kCap;
+    EXPECT_LT(*idx, kCap);
+    EXPECT_TRUE(seen.insert(*idx).second) << "index " << *idx << " twice";
+  }
+  EXPECT_FALSE(a.alloc(ctx).has_value());  // genuinely exhausted
+  for (const std::uint32_t idx : seen) a.free(ctx, idx);
+}
+
+TEST(BwBlockAllocator, ExhaustionCountsAndRecovers) {
+  stats::set_counting(true);
+  Alloc a(2, [](Payload&) {}, /*chunk=*/2);
+  auto ctx = a.make_ctx();
+  const auto x = a.alloc(ctx);
+  const auto y = a.alloc(ctx);
+  ASSERT_TRUE(x.has_value() && y.has_value());
+  const stats::Snapshot before = stats::snapshot();
+  EXPECT_FALSE(a.alloc(ctx).has_value());
+  if (stats::kCompiledIn) {
+    const stats::Snapshot d = stats::snapshot() - before;
+    EXPECT_EQ(d[stats::Id::kAllocExhaustion], 1u);
+  }
+  a.free(ctx, *y);
+  EXPECT_TRUE(a.alloc(ctx).has_value());  // free makes it allocatable again
+}
+
+// The cache hysteresis: frees accumulate privately up to 2C and then spill
+// exactly one chunk; allocs drain the cache before touching shared state.
+TEST(BwBlockAllocator, CacheSpillsOneChunkPastTwoC) {
+  constexpr std::uint32_t kChunk = 4;
+  Alloc a(32, [](Payload&) {}, kChunk);
+  auto ctx = a.make_ctx();
+  std::vector<std::uint32_t> held;
+  for (int i = 0; i < 12; ++i) {
+    const auto idx = a.alloc(ctx);
+    ASSERT_TRUE(idx.has_value());
+    held.push_back(*idx);
+  }
+  // 12 allocs = 3 chunk refills, each drained immediately.
+  EXPECT_EQ(ctx.cached(), 0u);
+  for (std::size_t i = 0; i < 8; ++i) a.free(ctx, held[i]);
+  EXPECT_EQ(ctx.cached(), 8u);  // exactly 2C: no spill yet
+  a.free(ctx, held[8]);
+  EXPECT_EQ(ctx.cached(), 9u - kChunk);  // crossed 2C: one chunk spilled
+  for (std::size_t i = 9; i < held.size(); ++i) a.free(ctx, held[i]);
+}
+
+TEST(BwBlockAllocator, ContextFreeShims) {
+  Alloc a(6, [](Payload&) {}, /*chunk=*/3);
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 6; ++i) {
+    const auto idx = a.alloc();
+    ASSERT_TRUE(idx.has_value());
+    EXPECT_TRUE(seen.insert(*idx).second);
+  }
+  EXPECT_FALSE(a.alloc().has_value());
+  for (const std::uint32_t idx : seen) a.free(idx);
+  EXPECT_EQ(a.free_count_quiescent(), 6u);
+}
+
+// Conservation: after every context spills (destruction), each block is on
+// the global chunk stack exactly once, whatever the alloc/free history.
+TEST(BwBlockAllocator, ConservationAfterMixedHistory) {
+  constexpr std::uint32_t kCap = 26;
+  Alloc a(kCap, [](Payload&) {}, /*chunk=*/4);
+  {
+    auto ctx = a.make_ctx();
+    std::vector<std::uint32_t> held;
+    for (int round = 0; round < 50; ++round) {
+      for (int i = 0; i < 5; ++i) {
+        if (const auto idx = a.alloc(ctx)) held.push_back(*idx);
+      }
+      // Free from the middle to shuffle chunk composition.
+      while (held.size() > 3) {
+        const std::uint32_t idx = held[held.size() / 2];
+        held.erase(held.begin() +
+                   static_cast<std::ptrdiff_t>(held.size() / 2));
+        a.free(ctx, idx);
+      }
+    }
+    for (const std::uint32_t idx : held) a.free(ctx, idx);
+  }
+  EXPECT_EQ(a.free_count_quiescent(), kCap);
+}
+
+// ---------------------------------------------------------------------
+// Multi-thread storm. Each thread stamps every block it holds with a
+// value unique to (thread, iteration) and re-checks the stamp before
+// freeing: if the allocator ever hands one block to two holders, a stamp
+// mismatch (or, under ASan, a poison trip at the stamp write) reports it.
+// Runs under tier1, the tsan-smoke preset, and asan-reclaim.
+// ---------------------------------------------------------------------
+TEST(BwBlockAllocatorTorture, ConcurrentStormConservesBlocks) {
+  constexpr unsigned kThreads = 4;
+  constexpr std::uint32_t kCap = 64;  // small: forces chunk-stack contention
+  const std::uint64_t iters = scaled_budget(20000);
+  Alloc a(kCap, [](Payload&) {}, /*chunk=*/4);
+  std::atomic<std::uint64_t> mismatches{0};
+  std::vector<std::thread> pool;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      auto ctx = a.make_ctx();
+      std::vector<std::pair<std::uint32_t, std::uint64_t>> held;
+      std::uint64_t local_bad = 0;
+      std::uint64_t next_stamp = (std::uint64_t{t} << 32) | 1;
+      for (std::uint64_t i = 0; i < iters; ++i) {
+        const bool want_alloc = held.size() < 8 && (i % 3 != 0);
+        if (want_alloc) {
+          if (const auto idx = a.alloc(ctx)) {
+            a.node(*idx).stamp = next_stamp;
+            held.emplace_back(*idx, next_stamp++);
+          }
+        } else if (!held.empty()) {
+          const auto [idx, stamp] = held.back();
+          held.pop_back();
+          local_bad += a.node(idx).stamp != stamp;  // double-allocation check
+          a.free(ctx, idx);
+        }
+      }
+      for (const auto& [idx, stamp] : held) {
+        local_bad += a.node(idx).stamp != stamp;
+        a.free(ctx, idx);
+      }
+      mismatches.fetch_add(local_bad);
+    });
+  }
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(mismatches.load(), 0u) << "a block was handed out twice";
+  EXPECT_EQ(a.free_count_quiescent(), kCap) << "blocks leaked or duplicated";
+}
+
+// Context caches spill on destruction even mid-storm: threads churn, die,
+// and are replaced; conservation must still hold at the end.
+TEST(BwBlockAllocatorTorture, ContextChurnSpillsCaches) {
+  constexpr std::uint32_t kCap = 48;
+  Alloc a(kCap, [](Payload&) {}, /*chunk=*/4);
+  const std::uint64_t generations = scaled_budget(40);
+  std::vector<std::thread> pool;
+  for (unsigned t = 0; t < 3; ++t) {
+    pool.emplace_back([&] {
+      for (std::uint64_t g = 0; g < generations; ++g) {
+        auto ctx = a.make_ctx();  // fresh context per generation
+        std::vector<std::uint32_t> held;
+        for (int i = 0; i < 10; ++i) {
+          if (const auto idx = a.alloc(ctx)) held.push_back(*idx);
+        }
+        // The frees land in the private cache; the ctx dtor at the end of
+        // this generation must spill them for later generations to refill.
+        for (const std::uint32_t idx : held) a.free(ctx, idx);
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(a.free_count_quiescent(), kCap);
+}
+
+}  // namespace
+}  // namespace moir::reclaim

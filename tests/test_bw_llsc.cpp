@@ -1,0 +1,588 @@
+// Blelloch–Wei pointer-width LL/SC (figbw): substrate conformance, full-
+// width values, descriptor recycling/conservation, exhaustive DFS on 2-thread
+// configs, Wing-Gong linearizability under DFS and PCT (3 threads), the
+// freed-while-announced determinism scenario under a scripted
+// ControlledScheduler, and the planted-bug negative control (announcement
+// step elided) that PCT must catch.
+#include "core/bw_llsc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/llsc_traits.hpp"
+#include "sim/controlled_scheduler.hpp"
+#include "sim/explore.hpp"
+#include "sim/schedule.hpp"
+#include "stats/stats.hpp"
+#include "util/env.hpp"
+#include "verify/history.hpp"
+#include "verify/linearizability.hpp"
+#include "verify/spec.hpp"
+
+namespace moir {
+namespace {
+
+using testing::ControlledScheduler;
+using testing::ExploreOptions;
+using testing::RunnableThread;
+using testing::Schedule;
+using testing::ScheduleExplorer;
+
+using Bw = BwLlsc<>;
+
+static_assert(SmallLlscSubstrate<BwLlsc<>>);
+static_assert(SmallLlscSubstrate<BwLlsc<16>>);
+static_assert(SmallLlscSubstrate<BwLlscNoAnnounce<>>);
+
+// ---------------------------------------------------------------------
+// Conformance: the same bodies as the typed suite in test_substrates.cpp
+// (figbw joins fig7 in needing a (N, k) constructor, hence its own file).
+// ---------------------------------------------------------------------
+TEST(BwLlsc, InitAndRead) {
+  Bw s(2);
+  Bw::Var var;
+  s.init_var(var, 37);
+  EXPECT_EQ(s.read(var), 37u);
+}
+
+TEST(BwLlsc, LlVlScRoundTrip) {
+  Bw s(2);
+  Bw::Var var;
+  s.init_var(var, 5);
+  auto ctx = s.make_ctx();
+  Bw::Keep keep;
+  EXPECT_EQ(s.ll(ctx, var, keep), 5u);
+  EXPECT_TRUE(s.vl(ctx, var, keep));
+  EXPECT_TRUE(s.sc(ctx, var, keep, 6));
+  EXPECT_EQ(s.read(var), 6u);
+}
+
+TEST(BwLlsc, ScFailsAfterInterferingSc) {
+  Bw s(2);  // default k = 2: two concurrent sequences per context
+  Bw::Var var;
+  s.init_var(var, 1);
+  auto ctx = s.make_ctx();
+  Bw::Keep mine, other;
+  s.ll(ctx, var, mine);
+  s.ll(ctx, var, other);
+  EXPECT_TRUE(s.sc(ctx, var, other, 2));
+  EXPECT_FALSE(s.sc(ctx, var, mine, 3));
+  EXPECT_FALSE(s.vl(ctx, var, mine));
+  EXPECT_EQ(s.read(var), 2u);
+}
+
+TEST(BwLlsc, ClEndsASequence) {
+  Bw s(2);
+  Bw::Var var;
+  s.init_var(var, 1);
+  auto ctx = s.make_ctx();
+  for (int i = 0; i < 100; ++i) {
+    Bw::Keep keep;
+    s.ll(ctx, var, keep);
+    s.cl(ctx, keep);  // abandoning must not leak slots or announcements
+  }
+  Bw::Keep keep;
+  s.ll(ctx, var, keep);
+  EXPECT_TRUE(s.sc(ctx, var, keep, 2));
+}
+
+// The figbw headline: values keep all 64 bits. No tag field is stolen from
+// the word (fig4 defaults to 16-bit values; fig7 to 16 of 64).
+TEST(BwLlsc, FullWidthValues) {
+  Bw s(2);
+  EXPECT_EQ(s.max_value(), ~std::uint64_t{0});
+  Bw::Var var;
+  s.init_var(var, 0);
+  auto ctx = s.make_ctx();
+  Bw::Keep keep;
+  s.ll(ctx, var, keep);
+  EXPECT_TRUE(s.sc(ctx, var, keep, s.max_value()));
+  EXPECT_EQ(s.read(var), s.max_value());
+}
+
+TEST(BwLlsc, ReInitVarReusesDescriptor) {
+  Bw s(1, 1, {.reserve = 2, .chunk = 1});
+  Bw::Var var;
+  s.init_var(var, 3);
+  s.init_var(var, 4);  // re-init must reuse the installed descriptor
+  s.init_var(var, 5);
+  EXPECT_EQ(s.read(var), 5u);
+}
+
+// Value restoration is invisible to figbw by construction: the restored
+// value lives in a *different* descriptor, so the victim's pointer compare
+// still fails (fig4/5/7 need tags for the same verdict; naive CAS is
+// fooled — test_substrates.cpp).
+TEST(BwLlsc, DetectsValueRestorationAba) {
+  Bw s(2);
+  Bw::Var var;
+  s.init_var(var, 1);
+  auto ctx = s.make_ctx();
+  Bw::Keep victim, k;
+  s.ll(ctx, var, victim);
+  s.ll(ctx, var, k);
+  ASSERT_TRUE(s.sc(ctx, var, k, 2));
+  s.ll(ctx, var, k);
+  ASSERT_TRUE(s.sc(ctx, var, k, 1));  // value restored: ABA
+  EXPECT_FALSE(s.sc(ctx, var, victim, 9));
+  EXPECT_EQ(s.read(var), 1u);
+}
+
+TEST(BwLlsc, ConcurrentCounterInvariant) {
+  Bw s(4);
+  Bw::Var var;
+  s.init_var(var, 0);
+  std::atomic<std::uint64_t> successes{0};
+  constexpr int kThreads = 4;
+  constexpr int kAttempts = 5000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&] {
+      auto ctx = s.make_ctx();
+      std::uint64_t local = 0;
+      for (int i = 0; i < kAttempts; ++i) {
+        Bw::Keep keep;
+        const auto v = s.ll(ctx, var, keep);
+        local += s.sc(ctx, var, keep, v + 1);
+      }
+      successes.fetch_add(local);
+    });
+  }
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(s.read(var), successes.load());
+}
+
+// Concurrent readers against the seqlock'd descriptor path, with heavy
+// recycling (tight pool): every read must return some value a successful SC
+// actually published (values are derived from a counter so anything else —
+// a torn or stale-reused descriptor — is detectable).
+TEST(BwLlsc, ReadersSeePublishedValuesUnderChurn) {
+  Bw s(3, 2, {.reserve = 2, .chunk = 2, .scan_threshold = 4});
+  Bw::Var var;
+  s.init_var(var, 0);
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> bad{0};
+  std::thread writer([&] {
+    auto ctx = s.make_ctx();
+    for (std::uint64_t i = 0; i < scaled_budget(50000); ++i) {
+      Bw::Keep keep;
+      const auto v = s.ll(ctx, var, keep);
+      s.sc(ctx, var, keep, v + 2);  // even ladder: odd values are corrupt
+    }
+    stop.store(true);
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&] {
+      std::uint64_t last = 0;
+      std::uint64_t local_bad = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        const std::uint64_t v = s.read(var);
+        // Monotone even ladder: any odd or decreasing value is a stale or
+        // torn read through a recycled descriptor.
+        local_bad += (v % 2 != 0) || (v < last);
+        last = v;
+      }
+      bad.fetch_add(local_bad);
+    });
+  }
+  writer.join();
+  for (auto& th : readers) th.join();
+  EXPECT_EQ(bad.load(), 0u);
+}
+
+// Descriptor conservation through heavy recycling: after all contexts die,
+// every descriptor is either free in the pool, parked on the orphan stack,
+// or installed in the (one) Var.
+TEST(BwLlsc, RecyclingConservesDescriptors) {
+  stats::set_counting(true);
+  Bw s(1, 2, {.reserve = 4, .chunk = 2, .scan_threshold = 3});
+  Bw::Var var;
+  s.init_var(var, 0);
+  const stats::Snapshot before = stats::snapshot();
+  {
+    auto ctx = s.make_ctx();
+    for (int i = 0; i < 200; ++i) {
+      Bw::Keep keep;
+      const auto v = s.ll(ctx, var, keep);
+      ASSERT_TRUE(s.sc(ctx, var, keep, v + 1));
+    }
+  }
+  EXPECT_EQ(s.read(var), 200u);
+  if (stats::kCompiledIn) {
+    const stats::Snapshot d = stats::snapshot() - before;
+    EXPECT_GT(d[stats::Id::kBwAllocReuse], 0u)
+        << "200 SCs in a 4-descriptor reserve never recycled";
+    EXPECT_EQ(d[stats::Id::kScSuccess], 200u);
+  }
+  EXPECT_EQ(s.pool_free_quiescent() + s.orphans_quiescent() + 1,
+            s.pool_capacity())
+      << "descriptors leaked through retire/scan";
+
+  // A later context's scans adopt the orphans and recycle them too.
+  {
+    auto ctx = s.make_ctx();
+    for (std::uint32_t i = 0; i <= s.scan_threshold(); ++i) {
+      Bw::Keep keep;
+      const auto v = s.ll(ctx, var, keep);
+      ASSERT_TRUE(s.sc(ctx, var, keep, v + 1));
+    }
+  }
+  EXPECT_EQ(s.pool_free_quiescent() + s.orphans_quiescent() + 1,
+            s.pool_capacity());
+}
+
+// ---------------------------------------------------------------------
+// Exhaustive DFS, two contexts, one LL/SC increment each: every
+// interleaving of the announce handshake, install CAS, and allocator
+// refill satisfies the counter invariant.
+// ---------------------------------------------------------------------
+TEST(Exploration, BwCounterExhaustive) {
+  auto make_trial = [] {
+    struct Shared {
+      Bw s{2, 1, {.reserve = 8, .chunk = 4}};
+      Bw::Var var;
+      std::vector<Bw::ThreadCtx> ctxs;
+      std::uint64_t successes[2] = {0, 0};
+    };
+    auto sh = std::make_shared<Shared>();
+    sh->s.init_var(sh->var, 0);
+    sh->ctxs.reserve(2);
+    sh->ctxs.push_back(sh->s.make_ctx());
+    sh->ctxs.push_back(sh->s.make_ctx());
+
+    ScheduleExplorer::Trial trial;
+    for (int t = 0; t < 2; ++t) {
+      trial.bodies.push_back([sh, t] {
+        Bw::Keep keep;
+        const std::uint64_t v = sh->s.ll(sh->ctxs[t], sh->var, keep);
+        sh->successes[t] += sh->s.sc(sh->ctxs[t], sh->var, keep, v + 1);
+      });
+    }
+    trial.check = [sh] {
+      return sh->s.read(sh->var) == sh->successes[0] + sh->successes[1];
+    };
+    return trial;
+  };
+
+  const auto r = ScheduleExplorer::explore(
+      make_trial, ExploreOptions{.max_trials = 400000, .sleep_sets = true});
+  EXPECT_TRUE(r.exhausted) << "trials=" << r.trials;
+  EXPECT_FALSE(r.violation_found) << r.schedule_string();
+  EXPECT_GT(r.trials, 10u);
+}
+
+// ---------------------------------------------------------------------
+// DFS linearizability (Wing-Gong) on the two-context config. Plain DFS
+// (no sleep sets: the history recorder's clock rides between yield points,
+// and real-time edges must not be pruned as "independent").
+// ---------------------------------------------------------------------
+TEST(Exploration, BwDfsLinearizable) {
+  auto make_trial = [] {
+    struct Shared {
+      Bw s{2, 1, {.reserve = 8, .chunk = 4}};
+      Bw::Var var;
+      std::vector<Bw::ThreadCtx> ctxs;
+      HistoryRecorder rec{2};
+    };
+    auto sh = std::make_shared<Shared>();
+    sh->s.init_var(sh->var, 0);
+    sh->ctxs.reserve(2);
+    sh->ctxs.push_back(sh->s.make_ctx());
+    sh->ctxs.push_back(sh->s.make_ctx());
+
+    auto ll = [sh](unsigned t, Bw::Keep& keep) {
+      const auto inv = sh->rec.now();
+      const std::uint64_t v = sh->s.ll(sh->ctxs[t], sh->var, keep);
+      sh->rec.add(t, t, OpKind::kLl, 0, v, inv);
+    };
+    auto sc = [sh](unsigned t, const Bw::Keep& keep, std::uint64_t v) {
+      const auto inv = sh->rec.now();
+      const bool ok = sh->s.sc(sh->ctxs[t], sh->var, keep, v);
+      sh->rec.add(t, t, OpKind::kSc, v, ok, inv);
+    };
+
+    ScheduleExplorer::Trial trial;
+    trial.bodies.push_back([ll, sc] {
+      Bw::Keep keep;
+      ll(0, keep);
+      sc(0, keep, 7);
+    });
+    trial.bodies.push_back([ll, sc] {
+      Bw::Keep keep;
+      ll(1, keep);
+      sc(1, keep, 9);
+    });
+    trial.check = [sh] {
+      LinearizabilityChecker<LlscRegisterSpec> checker;
+      return checker.check(sh->rec.collect(), LlscRegisterSpec::State{});
+    };
+    return trial;
+  };
+
+  const auto r = ScheduleExplorer::explore(make_trial, 400000);
+  EXPECT_TRUE(r.exhausted) << "trials=" << r.trials;
+  EXPECT_FALSE(r.violation_found)
+      << "non-linearizable figbw history under schedule "
+      << r.schedule_string();
+}
+
+// The same, for the context-free seqlock read racing an install: one
+// writer, one reader doing two reads (the second can observe a recycled-
+// and-reinstalled descriptor mid-rewrite and must revalidate).
+TEST(Exploration, BwDfsReadLinearizable) {
+  auto make_trial = [] {
+    struct Shared {
+      Bw s{2, 1, {.reserve = 8, .chunk = 4}};
+      Bw::Var var;
+      std::vector<Bw::ThreadCtx> ctxs;
+      HistoryRecorder rec{2};
+    };
+    auto sh = std::make_shared<Shared>();
+    sh->s.init_var(sh->var, 0);
+    sh->ctxs.reserve(1);
+    sh->ctxs.push_back(sh->s.make_ctx());
+
+    ScheduleExplorer::Trial trial;
+    trial.bodies.push_back([sh] {
+      Bw::Keep keep;
+      auto inv = sh->rec.now();
+      const std::uint64_t v = sh->s.ll(sh->ctxs[0], sh->var, keep);
+      sh->rec.add(0, 0, OpKind::kLl, 0, v, inv);
+      inv = sh->rec.now();
+      const bool ok = sh->s.sc(sh->ctxs[0], sh->var, keep, 7);
+      sh->rec.add(0, 0, OpKind::kSc, 7, ok, inv);
+    });
+    trial.bodies.push_back([sh] {
+      for (int i = 0; i < 2; ++i) {
+        const auto inv = sh->rec.now();
+        const std::uint64_t v = sh->s.read(sh->var);
+        sh->rec.add(1, 1, OpKind::kRead, 0, v, inv);
+      }
+    });
+    trial.check = [sh] {
+      LinearizabilityChecker<LlscRegisterSpec> checker;
+      return checker.check(sh->rec.collect(), LlscRegisterSpec::State{});
+    };
+    return trial;
+  };
+
+  const auto r = ScheduleExplorer::explore(make_trial, 400000);
+  EXPECT_TRUE(r.exhausted) << "trials=" << r.trials;
+  EXPECT_FALSE(r.violation_found)
+      << "non-linearizable figbw read under schedule "
+      << r.schedule_string();
+}
+
+// ---------------------------------------------------------------------
+// PCT smoke, three contexts, with a pool tight enough that scans and
+// descriptor reuse happen inside the window — the adversarial regime the
+// announcement protocol exists for. Runs in tier1 and (via the name
+// filter) under the ThreadSanitizer preset.
+// ---------------------------------------------------------------------
+TEST(PctSmoke, BwLlsc) {
+  auto make_trial = [] {
+    struct Shared {
+      Bw s{3, 1, {.reserve = 2, .chunk = 1, .scan_threshold = 2}};
+      Bw::Var var;
+      std::vector<Bw::ThreadCtx> ctxs;
+      HistoryRecorder rec{3};
+    };
+    auto sh = std::make_shared<Shared>();
+    sh->s.init_var(sh->var, 0);
+    sh->ctxs.reserve(3);
+    for (int t = 0; t < 3; ++t) sh->ctxs.push_back(sh->s.make_ctx());
+
+    auto round = [sh](unsigned t, std::uint64_t v) {
+      Bw::Keep keep;
+      auto inv = sh->rec.now();
+      const std::uint64_t seen = sh->s.ll(sh->ctxs[t], sh->var, keep);
+      sh->rec.add(t, t, OpKind::kLl, 0, seen, inv);
+      inv = sh->rec.now();
+      const bool ok = sh->s.sc(sh->ctxs[t], sh->var, keep, v);
+      sh->rec.add(t, t, OpKind::kSc, v, ok, inv);
+      inv = sh->rec.now();
+      const std::uint64_t r = sh->s.read(sh->var);
+      sh->rec.add(t, t, OpKind::kRead, 0, r, inv);
+    };
+    ScheduleExplorer::Trial trial;
+    for (unsigned t = 0; t < 3; ++t) {
+      trial.bodies.push_back([round, t] {
+        round(t, 10 * (t + 1));
+        round(t, 10 * (t + 1) + 1);
+      });
+    }
+    trial.check = [sh] {
+      LinearizabilityChecker<LlscRegisterSpec> checker;
+      return checker.check(sh->rec.collect(), LlscRegisterSpec::State{});
+    };
+    return trial;
+  };
+
+  const testing::PctOptions opts{
+      .runs = scaled_budget(60),
+      .depth = 3,
+      .change_range = 96,
+      .seed = base_seed() + 13,
+  };
+  const auto r = ScheduleExplorer::pct_explore(make_trial, opts);
+  EXPECT_FALSE(r.violation_found)
+      << "non-linearizable figbw history under schedule "
+      << r.schedule_string();
+  EXPECT_EQ(r.trials, opts.runs);
+}
+
+// ---------------------------------------------------------------------
+// Freed-while-announced, deterministically: a scripted ControlledScheduler
+// pins the victim between its (announced) LL and its SC while the
+// adversary retires the announced descriptor and scans twice. The scan
+// must keep the announced descriptor in limbo (exactly one reuse: the
+// adversary's own unannounced retiree) and the victim's SC must fail.
+// ---------------------------------------------------------------------
+TEST(BwLlsc, AnnouncedDescriptorSurvivesScan) {
+  stats::set_counting(true);
+  struct Shared {
+    Bw s{2, 1, {.reserve = 2, .chunk = 1, .scan_threshold = 1}};
+    Bw::Var var;
+    std::vector<Bw::ThreadCtx> ctxs;
+    std::atomic<int> phase{0};
+    std::uint64_t victim_ll = ~std::uint64_t{0};
+    bool victim_sc_ok = true;
+    bool adversary_ok = true;
+  };
+  Shared sh;
+  sh.s.init_var(sh.var, 0);
+  sh.ctxs.reserve(2);
+  sh.ctxs.push_back(sh.s.make_ctx());
+  sh.ctxs.push_back(sh.s.make_ctx());
+
+  const stats::Snapshot before = stats::snapshot();
+  std::vector<std::function<void()>> bodies;
+  bodies.push_back([&sh] {  // victim
+    Bw::Keep keep;
+    sh.victim_ll = sh.s.ll(sh.ctxs[0], sh.var, keep);
+    sh.phase.store(1, std::memory_order_seq_cst);
+    // The next yield point (inside sc) hands control to the adversary.
+    sh.victim_sc_ok = sh.s.sc(sh.ctxs[0], sh.var, keep, 99);
+  });
+  bodies.push_back([&sh] {  // adversary: two full rounds, two scans
+    for (int i = 0; i < 2; ++i) {
+      Bw::Keep keep;
+      const std::uint64_t v = sh.s.ll(sh.ctxs[1], sh.var, keep);
+      sh.adversary_ok &= sh.s.sc(sh.ctxs[1], sh.var, keep, v + 1);
+    }
+  });
+  // Script: run the victim until it finished its LL (phase 1), then the
+  // adversary to completion, then the victim's SC.
+  ControlledScheduler::run(
+      std::move(bodies),
+      [&sh](const std::vector<RunnableThread>& runnable, std::size_t) {
+        const unsigned want = sh.phase.load(std::memory_order_seq_cst) == 0
+                                  ? 0u
+                                  : 1u;
+        for (const RunnableThread& rt : runnable) {
+          if (rt.id == want) return want;
+        }
+        return runnable.front().id;
+      });
+
+  EXPECT_EQ(sh.victim_ll, 0u);
+  EXPECT_TRUE(sh.adversary_ok);
+  EXPECT_FALSE(sh.victim_sc_ok)
+      << "victim SC succeeded against a descriptor retired underneath it — "
+         "the announcement failed to pin it";
+  EXPECT_EQ(sh.s.read(sh.var), 2u);
+  if (stats::kCompiledIn) {
+    const stats::Snapshot d = stats::snapshot() - before;
+    // Both adversary scans ran (threshold 1), but only the adversary's own
+    // unannounced retiree was reclaimed; the victim's announced descriptor
+    // stayed in limbo.
+    EXPECT_EQ(d[stats::Id::kBwAllocReuse], 1u);
+    EXPECT_EQ(d[stats::Id::kBwAnnounce], 3u);  // victim + 2 adversary LLs
+  }
+  // Conservation across the whole episode, announced limbo included.
+  sh.ctxs.clear();
+  EXPECT_EQ(sh.s.pool_free_quiescent() + sh.s.orphans_quiescent() + 1,
+            sh.s.pool_capacity());
+}
+
+// ---------------------------------------------------------------------
+// Negative control (planted bug): BwLlscNoAnnounce skips the announcement
+// before dereferencing, so a preempted LL-SC sequence can successfully SC
+// against a descriptor that was recycled and re-installed underneath it —
+// exactly the ABA the real protocol forecloses. PCT must find the
+// resulting broken counter, and the schedule string must replay it.
+// ---------------------------------------------------------------------
+ScheduleExplorer::Trial make_no_announce_trial() {
+  using Broken = BwLlscNoAnnounce<>;
+
+  struct Shared {
+    Broken s{2, 1, {.reserve = 2, .chunk = 1, .scan_threshold = 1}};
+    Broken::Var var;
+    std::vector<Broken::ThreadCtx> ctxs;
+    std::uint64_t successes[2] = {0, 0};
+  };
+  auto sh = std::make_shared<Shared>();
+  sh->s.init_var(sh->var, 0);
+  sh->ctxs.reserve(2);
+  sh->ctxs.push_back(sh->s.make_ctx());
+  sh->ctxs.push_back(sh->s.make_ctx());
+
+  ScheduleExplorer::Trial trial;
+  // Victim: one increment; a preemption between its LL and SC is fatal.
+  trial.bodies.push_back([sh] {
+    Broken::Keep keep;
+    const std::uint64_t v = sh->s.ll(sh->ctxs[0], sh->var, keep);
+    sh->successes[0] += sh->s.sc(sh->ctxs[0], sh->var, keep, v + 1);
+  });
+  // Adversary: two increments. With threshold 1 and chunk 1, the first SC's
+  // retiree is scanned, freed (nobody announced it), and handed straight
+  // back by the second SC's allocation — same index, re-installed.
+  trial.bodies.push_back([sh] {
+    for (int i = 0; i < 2; ++i) {
+      Broken::Keep keep;
+      const std::uint64_t v = sh->s.ll(sh->ctxs[1], sh->var, keep);
+      sh->successes[1] += sh->s.sc(sh->ctxs[1], sh->var, keep, v + 1);
+    }
+  });
+  trial.check = [sh] {
+    return sh->s.read(sh->var) == sh->successes[0] + sh->successes[1];
+  };
+  return trial;
+}
+
+TEST(NegativeControl, PctCatchesElidedAnnouncement) {
+  const testing::PctOptions opts{
+      .runs = scaled_budget(800),
+      .depth = 3,
+      .change_range = 32,
+      .seed = base_seed() + 17,
+  };
+  const auto r = ScheduleExplorer::pct_explore(make_no_announce_trial, opts);
+  ASSERT_TRUE(r.violation_found)
+      << "PCT failed to catch the elided-announcement ABA (positive "
+         "control for the announcement protocol)";
+
+  const auto parsed = Schedule::parse(r.schedule_string());
+  ASSERT_TRUE(parsed.has_value()) << r.schedule_string();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(ScheduleExplorer::replay(make_no_announce_trial, *parsed))
+        << "schedule " << r.schedule_string() << " did not replay the bug";
+  }
+}
+
+// The DFS explorer finds the same planted bug without randomization.
+TEST(NegativeControl, DfsCatchesElidedAnnouncement) {
+  const auto r = ScheduleExplorer::explore(make_no_announce_trial, 400000);
+  EXPECT_TRUE(r.violation_found)
+      << "DFS failed to find the elided-announcement ABA";
+}
+
+}  // namespace
+}  // namespace moir

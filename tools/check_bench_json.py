@@ -13,6 +13,7 @@ Usage: check_bench_json.py <bench-binary> [minimum-run-count]
 """
 import json
 import os
+import re
 import subprocess
 import sys
 import tempfile
@@ -29,8 +30,13 @@ REQUIRED_COUNTERS = [
     "stm_abort", "stm_help", "epoch_advance", "hp_scan", "node_retire",
     "node_free", "alloc_exhaustion", "svc_enqueue", "svc_batch", "svc_shed",
     "svc_drain", "txn_start", "txn_commit", "txn_abort", "txn_help",
-    "txn_revalidate",
+    "txn_revalidate", "bw_announce", "bw_help", "bw_alloc_reuse",
 ]
+# Substrate families run names may reference. Downstream tooling keys result
+# rows on these tokens, so a bench quietly inventing a new one (or a typo
+# like "figb") must be a hard error — exit 2, distinct from schema FAILs.
+KNOWN_SUBSTRATES = {"fig3", "fig4", "fig5", "fig6", "fig7", "figbw"}
+SUBSTRATE_RE = re.compile(r"(?<![a-z0-9])fig[a-z0-9]+")
 REQUIRED_RUN = ["name", "threads", "ops", "secs", "ns_per_op", "mops",
                 "latency_ns", "counters"]
 # Interpolated percentiles every latency histogram must carry (quantile
@@ -43,6 +49,20 @@ REQUIRED_HISTOGRAMS = ["batch_size", "svc_latency", "txn_keys"]
 def fail(msg):
     print(f"check_bench_json: FAIL: {msg}", file=sys.stderr)
     sys.exit(1)
+
+
+def fail_unknown_substrate(msg):
+    print(f"check_bench_json: FAIL: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def check_substrates(doc, source):
+    for run in doc["runs"]:
+        for token in SUBSTRATE_RE.findall(run.get("name", "")):
+            if token not in KNOWN_SUBSTRATES:
+                fail_unknown_substrate(
+                    f"{source}: run '{run['name']}' names unknown substrate "
+                    f"'{token}' (known: {', '.join(sorted(KNOWN_SUBSTRATES))})")
 
 
 def check_doc(doc, source, min_runs):
@@ -74,6 +94,7 @@ def check_doc(doc, source, min_runs):
     for hist in REQUIRED_HISTOGRAMS:
         if hist not in doc["histograms"]:
             fail(f"{source}: histograms missing '{hist}'")
+    check_substrates(doc, source)
 
 
 def main():
