@@ -16,6 +16,7 @@
 #include "platform/yield_point.hpp"
 #include "core/tagged_word.hpp"
 #include "stats/stats.hpp"
+#include "util/backoff.hpp"
 
 namespace moir {
 
@@ -58,6 +59,7 @@ class CasFromRllRsc {
     }
     const Word newword = oldword.successor(new_value);           // line 4
     std::uint64_t retries = 0;
+    SpinWait backoff;
     for (;;) {
       // rll/rsc announce their own accesses; no extra yield point needed.
       if (proc.rll(var.word_) != oldword.raw()) {                // line 5
@@ -72,6 +74,9 @@ class CasFromRllRsc {
       }
       ++retries;
       stats::count(stats::Id::kRscRetry, 1, &var);
+      // Spurious RSC failures cluster under contention (a neighbour's
+      // reservation-clearing write): shed it instead of hammering the line.
+      backoff.pause();
     }
   }
 

@@ -1,0 +1,104 @@
+// Dynamic membership: join/leave leases for algorithms and pools whose
+// population changes while they run.
+//
+// ProcessRegistry hands out dense ids against a fixed N chosen at
+// construction, which matches the paper's "for process p in 0..N-1" framing
+// but forces every client to know its peak concurrency up front. The
+// dur/ subsystem and the elastic service pool cannot: workers join and
+// leave under load, and the figdur substrate sizes its announcement array
+// on demand as the high-water mark grows. DynamicRegistry keeps the same
+// lock-free versioned-Treiber free list (ids are dense and reused, so
+// per-member shared arrays stay small), but treats max_members as a
+// generous ceiling rather than a tight bound, exposes the current active
+// count alongside the high-water mark, and counts joins/leaves through the
+// stats layer so membership churn is observable in bench JSON.
+//
+// Deliberately a separate type from ProcessRegistry: the stats layer leases
+// its shards through ProcessRegistry, so counting inside ProcessRegistry
+// itself would recurse. DynamicRegistry is never used by stats, which makes
+// the kRegJoin/kRegLeave counts here safe.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "stats/stats.hpp"
+#include "util/assertion.hpp"
+
+namespace moir {
+
+class DynamicRegistry {
+ public:
+  explicit DynamicRegistry(unsigned max_members = 1024)
+      : max_members_(max_members),
+        free_next_(new std::atomic<std::uint32_t>[max_members]) {}
+
+  // Leases a dense member id, preferring ones released by leave(). Ids are
+  // stable while held; per-member shared state may be indexed by them.
+  unsigned join() {
+    std::uint64_t head = free_head_.load(std::memory_order_acquire);
+    while ((head & 0xffffffffull) != 0) {
+      const unsigned id = static_cast<unsigned>(head & 0xffffffffull) - 1;
+      const std::uint64_t version = (head >> 32) + 1;
+      const std::uint64_t next =
+          (version << 32) | free_next_[id].load(std::memory_order_relaxed);
+      if (free_head_.compare_exchange_weak(head, next,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire)) {
+        active_.fetch_add(1, std::memory_order_relaxed);
+        stats::count(stats::Id::kRegJoin, 1, this);
+        return id;
+      }
+    }
+    const unsigned id = next_.fetch_add(1, std::memory_order_relaxed);
+    MOIR_ASSERT_MSG(id < max_members_,
+                    "more members joined than the registry ceiling allows");
+    active_.fetch_add(1, std::memory_order_relaxed);
+    stats::count(stats::Id::kRegJoin, 1, this);
+    return id;
+  }
+
+  // Returns a lease. The member must have quiesced any shared state indexed
+  // by the id before leaving; the id is immediately reusable by a joiner.
+  void leave(unsigned id) {
+    MOIR_ASSERT_MSG(id < next_.load(std::memory_order_relaxed),
+                    "leaving with an id this registry never assigned");
+    std::uint64_t head = free_head_.load(std::memory_order_relaxed);
+    for (;;) {
+      free_next_[id].store(static_cast<std::uint32_t>(head & 0xffffffffull),
+                           std::memory_order_relaxed);
+      const std::uint64_t version = (head >> 32) + 1;
+      if (free_head_.compare_exchange_weak(head, (version << 32) | (id + 1),
+                                           std::memory_order_release,
+                                           std::memory_order_relaxed)) {
+        active_.fetch_sub(1, std::memory_order_relaxed);
+        stats::count(stats::Id::kRegLeave, 1, this);
+        return;
+      }
+    }
+  }
+
+  // Members currently holding a lease. Advisory under concurrency (a join
+  // racing the load may or may not be counted) but exact at quiescence;
+  // the elastic pool uses it for scaling decisions, tests for invariants.
+  unsigned active() const { return active_.load(std::memory_order_relaxed); }
+
+  // High-water mark: ids ever minted (leaves don't lower it). Per-member
+  // shared arrays must be valid over [0, high_water()).
+  unsigned high_water() const {
+    return next_.load(std::memory_order_relaxed);
+  }
+
+  unsigned max_members() const { return max_members_; }
+
+ private:
+  const unsigned max_members_;
+  std::atomic<unsigned> next_{0};
+  std::atomic<unsigned> active_{0};
+  // Free list head: {version:32, id+1:32}; low half 0 means empty.
+  std::atomic<std::uint64_t> free_head_{0};
+  std::unique_ptr<std::atomic<std::uint32_t>[]> free_next_;
+};
+
+}  // namespace moir

@@ -15,6 +15,7 @@
 #include "platform/rll_rsc.hpp"
 #include "platform/yield_point.hpp"
 #include "stats/stats.hpp"
+#include "util/backoff.hpp"
 
 namespace moir {
 
@@ -61,6 +62,7 @@ class LlscFromRllRsc {
     const Word oldword = keep;                                   // line 4
     const Word newword = keep.successor(new_value);              // line 5
     std::uint64_t retries = 0;
+    SpinWait backoff;
     for (;;) {
       // rll/rsc announce their own accesses; no extra yield point needed.
       if (proc.rll(var.word_) != oldword.raw()) {                // line 6
@@ -77,6 +79,7 @@ class LlscFromRllRsc {
       // word makes the next rll() miss oldword and return false above.
       ++retries;
       stats::count(stats::Id::kRscRetry, 1, &var);
+      backoff.pause();
     }
   }
 };

@@ -1,0 +1,206 @@
+// Simulated persistent memory for crash-recovery testing.
+//
+// Real persistent memory gives programs a volatile view (caches, store
+// buffers) in front of a durable medium; stores reach the medium only after
+// an explicit write-back (CLWB/CLFLUSHOPT) ordered by a fence (SFENCE). A
+// crash discards the volatile view and recovery sees whatever subset of
+// stores had been written back. Durable algorithms (dur/dur_llsc.hpp, after
+// arXiv 2302.00135) are correct only if their persist barriers are placed
+// so that every reachable durable state is recoverable.
+//
+// This header simulates that model in ordinary memory so the schedule
+// explorer (sim/) can verify barrier placement exhaustively:
+//
+//   * DurWord is a 64-bit word with a volatile value v_ and a durable
+//     shadow durable_. Loads/stores/CAS touch only v_.
+//   * flush(w) schedules a write-back: it appends w to the calling
+//     thread's pending list. No yield point — a flush instruction alone
+//     guarantees nothing about ordering, so giving it a schedule decision
+//     would only inflate the DFS tree without adding reachable states.
+//   * fence() commits the calling thread's pending write-backs: ONE opaque
+//     yield point, then durable_ := current v_ for each pending word. The
+//     single yield point means a crash lands before (no pending write-back
+//     committed) or after (all committed). Real hardware can commit any
+//     subset at a crash, so this is an under-approximation — but every
+//     state it produces is a real reachable state, so a violation found
+//     here is a real bug, and the missing-persist negative control below
+//     shows the approximation still has teeth.
+//   * persist(w) = flush + fence for one word: the common "persist this
+//     word now" barrier, one yield point (MOIR_YIELD_PERSIST).
+//
+// Capture-at-commit, not capture-at-flush: fence() copies the word's
+// volatile value AT COMMIT TIME, not the value it held when flush() was
+// called. A cacheline write-back writes the line's content at write-back
+// time; it can never resurrect an older value. Capturing at flush time
+// would let a delayed fence overwrite a NEWER durable value with a stale
+// snapshot — a rollback no hardware exhibits — and would make correctly
+// annotated algorithms fail verification. Under this model durable_ only
+// ever moves toward the current volatile value, matching the monotone
+// convergence of real write-backs.
+//
+// Crash protocol (sim/crash.hpp drives it): the crash body snapshot()s the
+// domain at a schedule point of the explorer's choosing; after the trial's
+// volatile execution completes, the checker builds a fresh, identically
+// constructed instance, restore()s the snapshot into it (v_ := durable_ :=
+// snapshot value — recovery starts from durable state only), runs the
+// algorithm's recovery routine, and probes the result. Identical
+// construction order makes attach order deterministic, so snapshot indices
+// map 1:1 between the crashed and recovered instances.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "platform/yield_point.hpp"
+#include "stats/stats.hpp"
+#include "util/assertion.hpp"
+
+namespace moir::dur {
+
+class PmemDomain;
+
+// One simulated persistent word. Ordinary atomic operations act on the
+// volatile value; only PmemDomain barriers move the durable shadow.
+class DurWord {
+ public:
+  explicit DurWord(std::uint64_t initial = 0)
+      : v_(initial), durable_(initial) {}
+
+  DurWord(const DurWord&) = delete;
+  DurWord& operator=(const DurWord&) = delete;
+
+  std::uint64_t load(std::memory_order mo = std::memory_order_seq_cst) const {
+    return v_.load(mo);
+  }
+  void store(std::uint64_t value,
+             std::memory_order mo = std::memory_order_seq_cst) {
+    v_.store(value, mo);
+  }
+  bool compare_exchange_strong(
+      std::uint64_t& expected, std::uint64_t desired,
+      std::memory_order mo = std::memory_order_seq_cst) {
+    return v_.compare_exchange_strong(expected, desired, mo);
+  }
+
+  // What a crash would leave behind. Test/recovery-side accessor.
+  std::uint64_t durable() const {
+    return durable_.load(std::memory_order_seq_cst);
+  }
+
+ private:
+  friend class PmemDomain;
+  std::atomic<std::uint64_t> v_;
+  std::atomic<std::uint64_t> durable_;
+};
+
+// The set of DurWords belonging to one durable data structure, plus the
+// per-thread pending-write-back state. Snapshot/restore operate on the
+// whole domain at once.
+class PmemDomain {
+ public:
+  // Per-thread pending-flush list. Cheap to construct; algorithms embed one
+  // in their ThreadCtx. Destroying a ctx with pending flushes is fine —
+  // unfenced flushes guarantee nothing, so dropping them loses nothing.
+  class ThreadCtx {
+   public:
+    explicit ThreadCtx(PmemDomain& domain) : domain_(&domain) {}
+
+   private:
+    friend class PmemDomain;
+    PmemDomain* domain_;
+    std::vector<DurWord*> pending_;
+  };
+
+  // Registers a word with the domain. Quiescent-only (construction /
+  // init_var time): attach order defines the snapshot index order, and the
+  // recovery protocol relies on the crashed and recovered instances
+  // attaching identical sequences.
+  void attach(DurWord& word) {
+    std::lock_guard<std::mutex> lock(mu_);
+    words_.push_back(&word);
+  }
+
+  std::size_t attached() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return words_.size();
+  }
+
+  // Schedules a write-back of `word` on this thread; commits at the next
+  // fence(). Deliberately NOT a yield point (see header comment).
+  void flush(ThreadCtx& ctx, DurWord& word) {
+    MOIR_ASSERT(ctx.domain_ == this);
+    ctx.pending_.push_back(&word);
+    stats::count(stats::Id::kDurFlush, 1, this);
+  }
+
+  // Commits this thread's pending write-backs. The single opaque yield
+  // point BEFORE the commits is the crash window: a crash scheduled there
+  // sees none of them durable; once the thread runs again all commit.
+  void fence(ThreadCtx& ctx) {
+    MOIR_ASSERT(ctx.domain_ == this);
+    if (ctx.pending_.empty()) return;
+    MOIR_YIELD_POINT();
+    for (DurWord* w : ctx.pending_) {
+      // Capture at commit time: write-backs write current line content.
+      w->durable_.store(w->v_.load(std::memory_order_seq_cst),
+                        std::memory_order_seq_cst);
+    }
+    ctx.pending_.clear();
+    stats::count(stats::Id::kDurFence, 1, this);
+  }
+
+  // flush + fence for a single word: the "persist w before proceeding"
+  // barrier the durable LL/SC algorithm uses. One yield point. Const because
+  // it mutates only the word's durable shadow, never the domain — so
+  // context-free readers may persist through a const substrate.
+  void persist(DurWord& word) const {
+    MOIR_YIELD_PERSIST(&word);
+    word.durable_.store(word.v_.load(std::memory_order_seq_cst),
+                        std::memory_order_seq_cst);
+    stats::count(stats::Id::kDurFlush, 1, this);
+    stats::count(stats::Id::kDurFence, 1, this);
+  }
+
+  // persist() for quiescent init paths: no yield point (there is no crash
+  // window to model before the structure is published) and no counters (so
+  // barrier counts in bench JSON measure the algorithm, not its setup).
+  void persist_quiescent(DurWord& word) const {
+    word.durable_.store(word.v_.load(std::memory_order_seq_cst),
+                        std::memory_order_seq_cst);
+  }
+
+  // The durable image a crash at this instant would leave. Values are read
+  // in attach order; concurrent volatile activity is irrelevant because
+  // only durable_ shadows are read and each is a single atomic.
+  std::vector<std::uint64_t> snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::uint64_t> image;
+    image.reserve(words_.size());
+    for (const DurWord* w : words_) {
+      image.push_back(w->durable_.load(std::memory_order_seq_cst));
+    }
+    return image;
+  }
+
+  // Loads a crash image into this (freshly constructed, quiescent) domain:
+  // both volatile and durable values become the image — recovery starts
+  // from durable state and nothing else. The domain must have attached
+  // exactly the same word sequence as the one that was snapshotted.
+  void restore(const std::vector<std::uint64_t>& image) {
+    std::lock_guard<std::mutex> lock(mu_);
+    MOIR_ASSERT_MSG(image.size() == words_.size(),
+                    "crash image does not match this domain's attach order");
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      words_[i]->v_.store(image[i], std::memory_order_seq_cst);
+      words_[i]->durable_.store(image[i], std::memory_order_seq_cst);
+    }
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<DurWord*> words_;
+};
+
+}  // namespace moir::dur

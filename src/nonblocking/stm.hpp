@@ -42,6 +42,7 @@
 #include "platform/yield_point.hpp"
 #include "stats/stats.hpp"
 #include "util/assertion.hpp"
+#include "util/backoff.hpp"
 #include "util/cache.hpp"
 
 namespace moir {
@@ -91,9 +92,14 @@ class Stm {
   TxResult transact(ThreadCtx& ctx, std::span<const std::uint32_t> addrs,
                     TxOp op, std::uint64_t arg) {
     TxResult result;
+    SpinWait backoff;
     while (!try_transact(ctx, addrs, op, arg, result)) {
       ++result.aborts;
       MOIR_YIELD_POINT();
+      // An abort means a conflicting transaction won the cells: back off
+      // before re-acquiring so repeated losers desynchronize (aborts stay
+      // visible through stm_abort / the aborts-per-commit histogram).
+      backoff.pause();
     }
     result.committed = true;
     stats::record(stats::HistId::kStmAbortsPerCommit, result.aborts);
@@ -154,11 +160,16 @@ class Stm {
 
   // Transactional read of one cell (helps out in-flight writers).
   std::uint64_t read(ThreadCtx&, std::size_t cell) {
+    SpinWait backoff;
     for (;;) {
       Cells::Keep keep;
       const std::uint64_t v = Cells::ll(cells_[cell], keep);
       if (!is_locked(v)) return v;
       help(lock_pid(v), lock_seq23(v), /*depth=*/0);
+      // The owner may immediately relock for its next transaction; backing
+      // off between helping rounds keeps the reader from racing it for the
+      // cell line every iteration.
+      backoff.pause();
     }
   }
 

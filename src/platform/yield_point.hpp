@@ -166,10 +166,19 @@ inline void maybe_yield(const StepInfo& info) {
   ::moir::testing::maybe_yield(::moir::testing::StepInfo::update(obj))
 // Arbitrary footprint: MOIR_YIELD_STEP(StepInfo::read(a).also_update(b)).
 #define MOIR_YIELD_STEP(...) ::moir::testing::maybe_yield(__VA_ARGS__)
+// Persist barrier (dur/pmem.hpp): the step beginning here commits `obj`'s
+// durable shadow copy. It is a write access for dependence purposes — and,
+// crucially, a scheduling decision point, which is what turns crash points
+// into yield points: the crash-injection body (sim/crash.hpp) snapshots
+// durable state at ITS decision points, so the DFS/PCT explorers place the
+// crash before or after every persist commit.
+#define MOIR_YIELD_PERSIST(obj) \
+  ::moir::testing::maybe_yield(::moir::testing::StepInfo::write(obj))
 #else
 #define MOIR_YIELD_POINT() ((void)0)
 #define MOIR_YIELD_READ(obj) ((void)0)
 #define MOIR_YIELD_WRITE(obj) ((void)0)
 #define MOIR_YIELD_UPDATE(obj) ((void)0)
 #define MOIR_YIELD_STEP(...) ((void)0)
+#define MOIR_YIELD_PERSIST(obj) ((void)0)
 #endif

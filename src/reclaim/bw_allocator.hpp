@@ -178,6 +178,44 @@ class BwBlockAllocator {
   std::uint32_t capacity() const { return capacity_; }
   std::uint32_t chunk() const { return chunk_; }
 
+  // Recovery bootstrap (src/dur/): discard the entire free-list state and
+  // rebuild it so that exactly the blocks for which `in_use(idx)` returns
+  // false are free. After a simulated crash the chunk stack, thread caches,
+  // and limbo lists are volatile garbage; what survives is the set of
+  // blocks the durable data structure still references — the caller derives
+  // `in_use` from that and every other block returns to the pool, so a
+  // crashed allocation can never leak. Quiescent-only: callable before any
+  // ThreadCtx exists on the recovered instance (recovery runs single-
+  // threaded, before membership reopens).
+  template <typename InUse>
+  void rebuild_free_quiescent(InUse&& in_use) {
+    std::uint32_t chead = 0;  // first_idx+1 encoding; 0 = empty stack
+    std::vector<std::uint32_t> batch;
+    batch.reserve(chunk_);
+    auto seal_chunk = [&] {
+      if (batch.empty()) return;
+      for (std::size_t j = 0; j < batch.size(); ++j) {
+        next_[batch[j]].store(
+            j + 1 < batch.size() ? batch[j + 1] + 1 : 0,
+            std::memory_order_relaxed);
+      }
+      chunk_next_[batch[0]].store(chead, std::memory_order_relaxed);
+      chead = batch[0] + 1;
+      batch.clear();
+    };
+    for (std::uint32_t i = 0; i < capacity_; ++i) {
+      if (in_use(i)) {
+        unpoison_block(i);
+        continue;
+      }
+      poison_block(i);
+      batch.push_back(i);
+      if (batch.size() == chunk_) seal_chunk();
+    }
+    seal_chunk();
+    head_.store(chead, std::memory_order_release);
+  }
+
   // Walks the chunk stack and every chunk's block list. Only meaningful
   // when no thread is allocating or freeing AND all ThreadCtx caches have
   // been spilled (destroyed); tests use it as the conservation hard check.

@@ -1,0 +1,55 @@
+// Crash injection for the schedule explorer: crash points are yield points.
+//
+// A full-system crash in the simulated-pmem model (dur/pmem.hpp) has a
+// simple operational meaning: at some instant, the durable shadow words are
+// all that survives. Instead of teaching the ControlledScheduler a new kind
+// of event, the crash is modeled as ONE MORE TRIAL THREAD whose body is a
+// single opaque step that captures the crash: it stamps crash_ts from the
+// trial's history clock and snapshots the durable image. Because the
+// explorer already places every thread's next step at every schedule
+// decision, DFS exhaustively tries the crash at every point of every
+// interleaving, and PCT samples crash placements exactly like it samples
+// preemptions — no new machinery, and the resulting Schedule strings (ms1:)
+// replay crash placements byte-for-byte like any other violation.
+//
+// After the capture the OTHER threads keep running in the volatile world.
+// That is deliberate: the volatile continuation never touches the captured
+// image, and letting every operation complete gives the durable checker
+// (verify/durable.hpp) a response for every operation, which it needs to
+// partition the history at crash_ts. The post-crash part of the run is
+// simply ignored by the checker (ops invoked after crash_ts are dropped).
+//
+// check() then: constructs a FRESH instance with the same Config and the
+// same init_var sequence (the pmem snapshot contract requires identical
+// attach order), restores the image, runs recovery, probes the recovered
+// state, and asks DurableLinearizabilityChecker whether the pre-crash
+// history explains the probes. One trial therefore verifies one (schedule,
+// crash point) pair end to end; the explorer's tree walks all of them.
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "platform/yield_point.hpp"
+#include "sim/explore.hpp"
+
+namespace moir::testing {
+
+// Appends a crash thread to `trial`. `capture` runs as one opaque step (no
+// other thread runs inside it): stamp the clock, snapshot durable state.
+// The explorer decides where that step lands; bodies added earlier keep
+// their thread ids, so existing ms1: schedules for the crash-free trial
+// stay meaningful.
+inline ScheduleExplorer::Trial with_crash(ScheduleExplorer::Trial trial,
+                                          std::function<void()> capture) {
+  trial.bodies.push_back([capture = std::move(capture)] {
+    // Opaque on purpose: the capture reads every durable word, which
+    // conflicts with all persist steps — and must, or sleep-set reduction
+    // would prune crash placements that differ durably.
+    MOIR_YIELD_POINT();
+    capture();
+  });
+  return trial;
+}
+
+}  // namespace moir::testing

@@ -48,6 +48,11 @@ const char* name(Id id) {
     case Id::kBwAnnounce: return "bw_announce";
     case Id::kBwHelp: return "bw_help";
     case Id::kBwAllocReuse: return "bw_alloc_reuse";
+    case Id::kDurFlush: return "dur_flush";
+    case Id::kDurFence: return "dur_fence";
+    case Id::kDurRecover: return "dur_recover";
+    case Id::kRegJoin: return "reg_join";
+    case Id::kRegLeave: return "reg_leave";
     case Id::kNumIds: break;
   }
   return "unknown";

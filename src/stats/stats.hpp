@@ -90,6 +90,11 @@ enum class Id : std::uint8_t {
   kBwAnnounce,    // Blelloch–Wei LL published a descriptor announcement
   kBwHelp,        // BW LL/read retry round absorbed a concurrent SC's install
   kBwAllocReuse,  // BW scan harvested an unannounced retired descriptor
+  kDurFlush,      // simulated pmem write-back scheduled (dur/pmem.hpp flush)
+  kDurFence,      // persist fence committed pending write-backs durably
+  kDurRecover,    // figdur recovery rebuilt volatile state from durable
+  kRegJoin,       // DynamicRegistry membership join (elastic pool, figdur)
+  kRegLeave,      // DynamicRegistry membership leave
   kNumIds
 };
 

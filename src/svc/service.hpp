@@ -36,12 +36,14 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "core/dynamic_registry.hpp"
 #include "core/llsc_traits.hpp"
 #include "core/process_registry.hpp"
 #include "map/sharded_map.hpp"
@@ -72,7 +74,19 @@ class KvService {
   struct Config {
     unsigned queues = 4;                 // dispatch shards
     std::uint32_t queue_capacity = 1024; // nodes per shard queue
-    unsigned workers = 2;                // 0 = manual pump (tests)
+    unsigned workers = 2;                // floor; 0 = manual pump (tests)
+    // Elastic pool ceiling: 0 (default) pins the pool at `workers`; > 0
+    // lets the pool grow itself up to this many workers under load and
+    // shrink back to the floor when idle (see worker_main / SERVICE.md).
+    unsigned max_workers = 0;
+    // A worker that drains this many CONSECUTIVE full batches concludes
+    // the offered load exceeds the pool's capacity and spawns a peer.
+    unsigned grow_streak = 4;
+    // A worker above the floor that sees this many consecutive empty pump
+    // passes retires. Large by design: retiring is cheap to get wrong in
+    // neither direction, but thrashing join/leave on a bursty load is
+    // pure overhead.
+    unsigned shrink_idle = 4096;
     unsigned batch = 16;                 // B: max requests per executor pop
     unsigned max_sessions = 8;           // concurrent clients
     std::uint32_t tickets_per_session = 64;  // in-flight window W
@@ -139,18 +153,23 @@ class KvService {
 
   explicit KvService(S& substrate, Config cfg = {})
       : cfg_(cfg),
+        worker_ceiling_(std::max(cfg.workers, cfg.max_workers)),
         // Concurrent ThreadCtx holders across the shard-queue reclaimers
-        // and the map reclaimer: one per session, one per worker, the
-        // router, and slack for a manual pumper / preloader. Txn mode
-        // doubles the worker/pumper terms (WorkerCtx carries both a plain
-        // map ctx and the txn ctx's embedded one).
-        max_threads_(cfg.max_sessions +
-                     (cfg.txn ? 2 * cfg.workers + 4 : cfg.workers + 2)),
+        // and the map reclaimer: one per session, one per worker at the
+        // elastic ceiling, the router, and slack for a manual pumper /
+        // preloader. The ceiling term is doubled: a retiring worker still
+        // holds its ctx while its replacement may already be spinning up.
+        // Txn mode doubles the worker/pumper terms again (WorkerCtx
+        // carries both a plain map ctx and the txn ctx's embedded one).
+        max_threads_(cfg.max_sessions + (cfg.txn ? 4 * worker_ceiling_ + 4
+                                                 : 2 * worker_ceiling_ + 2)),
         disp_(substrate, max_threads_, cfg.queues, cfg.queue_capacity),
         map_(substrate, max_threads_, cfg.map),
-        session_reg_(cfg.max_sessions) {
+        session_reg_(cfg.max_sessions),
+        worker_reg_(2 * worker_ceiling_ + 2) {
     MOIR_ASSERT(cfg_.batch >= 1 && cfg_.queues >= 1);
     MOIR_ASSERT(cfg_.tickets_per_session >= 1 && cfg_.max_sessions >= 1);
+    MOIR_ASSERT(cfg_.grow_streak >= 1 && cfg_.shrink_idle >= 1);
     if (cfg_.txn) txn_ = std::make_unique<Txn>(map_, max_threads_);
     sessions_.reserve(cfg_.max_sessions);
     for (unsigned i = 0; i < cfg_.max_sessions; ++i) {
@@ -160,8 +179,10 @@ class KvService {
       if (cfg_.use_rings) {
         router_ = std::thread([this] { router_main(); });
       }
-      threads_.reserve(cfg_.workers);
+      std::lock_guard<std::mutex> g(pool_mu_);
+      threads_.reserve(worker_ceiling_);
       for (unsigned w = 0; w < cfg_.workers; ++w) {
+        ++live_workers_;
         threads_.emplace_back([this] { worker_main(); });
       }
     }
@@ -439,13 +460,35 @@ class KvService {
     stop_router_.store(true, std::memory_order_release);
     if (router_.joinable()) router_.join();
     stop_workers_.store(true, std::memory_order_release);
+    {
+      // Barrier against in-flight growth: any spawn_worker() that slipped
+      // past the flag holds pool_mu_ while emplacing, so once we acquire
+      // and release it, threads_ is final (later spawn attempts re-check
+      // stop_workers_ under the same lock and bail).
+      std::lock_guard<std::mutex> g(pool_mu_);
+    }
     for (auto& t : threads_) t.join();
     threads_.clear();
+    std::lock_guard<std::mutex> g(pool_mu_);
+    live_workers_ = 0;
   }
 
   bool draining() const {
     return draining_.load(std::memory_order_acquire);
   }
+
+  // ----- Elastic pool introspection ---------------------------------------
+
+  // Workers currently counted toward the pool (spawned and not retired).
+  // Advisory under churn; exact at quiescence.
+  unsigned live_workers() const {
+    std::lock_guard<std::mutex> g(pool_mu_);
+    return live_workers_;
+  }
+  unsigned worker_ceiling() const { return worker_ceiling_; }
+  // join/leave lease bookkeeping for the elastic pool; high_water() bounds
+  // how wide the pool ever got, active() how wide it is now.
+  DynamicRegistry& worker_registry() { return worker_reg_; }
 
  private:
   struct SessionState {
@@ -584,20 +627,75 @@ class KvService {
     ts.done.store(ts.gen, std::memory_order_release);
   }
 
+  // Elastic worker loop. Each worker leases a membership id for its whole
+  // life (reg_join/reg_leave counters make churn observable) and scales
+  // the pool from inside: a sustained run of FULL batches means requests
+  // are arriving at least as fast as this worker drains them, so it
+  // spawns a peer (up to the ceiling); a long run of empty passes on a
+  // worker above the floor means the pool is overprovisioned, so it
+  // retires. Decisions are local — no coordinator thread — and the floor
+  // workers never retire, so the drain guarantee of stop() is unchanged.
   void worker_main() {
-    WorkerCtx w = make_worker_ctx();
-    SpinWait sw;
-    for (;;) {
-      if (pump(w) > 0) {
-        sw.reset();
-        continue;
+    const unsigned wid = worker_reg_.join();
+    {
+      WorkerCtx w = make_worker_ctx();
+      SpinWait sw;
+      unsigned full_streak = 0;
+      std::uint64_t idle_streak = 0;
+      for (;;) {
+        const unsigned done = pump(w);
+        if (done > 0) {
+          sw.reset();
+          idle_streak = 0;
+          if (done >= cfg_.batch) {
+            if (++full_streak >= cfg_.grow_streak) {
+              full_streak = 0;
+              spawn_worker();
+            }
+          } else {
+            full_streak = 0;
+          }
+          continue;
+        }
+        full_streak = 0;
+        if (stop_workers_.load(std::memory_order_acquire) &&
+            disp_.all_empty()) {
+          std::lock_guard<std::mutex> g(pool_mu_);
+          --live_workers_;
+          break;
+        }
+        if (++idle_streak >= cfg_.shrink_idle && try_retire()) break;
+        sw.pause();
       }
-      if (stop_workers_.load(std::memory_order_acquire) &&
-          disp_.all_empty()) {
-        break;
-      }
-      sw.pause();
     }
+    worker_reg_.leave(wid);
+  }
+
+  // Adds a worker if the pool is below the ceiling and not stopping. The
+  // re-check of stop_workers_ under pool_mu_ pairs with the lock barrier
+  // in stop(): either the spawn lands in threads_ before stop() walks it,
+  // or it is refused here.
+  void spawn_worker() {
+    if (worker_ceiling_ <= cfg_.workers) return;  // pool is fixed-size
+    std::lock_guard<std::mutex> g(pool_mu_);
+    if (stop_workers_.load(std::memory_order_acquire) ||
+        draining_.load(std::memory_order_acquire)) {
+      return;
+    }
+    if (live_workers_ >= worker_ceiling_) return;
+    ++live_workers_;
+    threads_.emplace_back([this] { worker_main(); });
+  }
+
+  // A worker above the floor may leave; the floor stays to honor the
+  // drain guarantee. The retiring thread stays in threads_ (joined at
+  // stop()), but releases its reclaimer/membership leases immediately.
+  bool try_retire() {
+    std::lock_guard<std::mutex> g(pool_mu_);
+    if (live_workers_ <= cfg_.workers) return false;
+    if (stop_workers_.load(std::memory_order_acquire)) return false;
+    --live_workers_;
+    return true;
   }
 
   void router_main() {
@@ -616,6 +714,7 @@ class KvService {
   }
 
   const Config cfg_;
+  const unsigned worker_ceiling_;
   const unsigned max_threads_;
   Stopwatch clock_;  // latency origin for the svc_latency histogram
   // Declaration order is destruction-critical: sessions_ (whose dctx folds
@@ -628,8 +727,16 @@ class KvService {
   // the cell store; its per-worker ctxs die with the worker threads.
   std::unique_ptr<Txn> txn_;
   ProcessRegistry session_reg_;
+  // Membership leases for the elastic pool (2x ceiling: a retiree's lease
+  // may overlap its replacement's). Never used by the stats layer, so the
+  // reg_join/reg_leave counts inside it cannot recurse.
+  DynamicRegistry worker_reg_;
   std::vector<std::unique_ptr<SessionState>> sessions_;
   std::thread router_;
+  // Guards live_workers_ and threads_ growth against stop(); workers take
+  // it only on scaling decisions, never per request.
+  mutable std::mutex pool_mu_;
+  unsigned live_workers_ = 0;
   std::vector<std::thread> threads_;
   std::atomic<bool> draining_{false};
   std::atomic<bool> stop_router_{false};

@@ -11,53 +11,25 @@
 //
 // Nothing ever blocks in here: try_push/try_pop fail immediately when
 // full/empty and the caller decides (the service sheds, the router moves
-// to the next session). SpinWait below is the one waiting policy the
-// subsystem uses when a caller *chooses* to wait (client wait(), idle
-// workers): bounded spinning with a CPU relax hint, then
-// std::this_thread::yield() — never a futex or mutex, so a preempted peer
-// can always be scheduled and progress remains a scheduler property, not
-// a lock-holder property.
+// to the next session). SpinWait (util/backoff.hpp, re-exported below) is
+// the one waiting policy the subsystem uses when a caller *chooses* to
+// wait (client wait(), idle workers): bounded exponential spinning with a
+// CPU relax hint, then std::this_thread::yield() — never a futex or mutex,
+// so a preempted peer can always be scheduled and progress remains a
+// scheduler property, not a lock-holder property.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
-#include <thread>
 
 #include "platform/yield_point.hpp"
+#include "util/backoff.hpp"
 #include "util/cache.hpp"
 
 namespace moir::svc {
 
-// Spin-then-yield backoff. pause() spins kSpinLimit times with a pipeline
-// relax hint, then yields the rest of the quantum to whoever can make
-// progress — on oversubscribed hosts (this repo's single-core CI box) the
-// yield path is what keeps a waiting client from starving the worker it
-// waits on.
-class SpinWait {
- public:
-  static constexpr unsigned kSpinLimit = 64;
-
-  void pause() {
-    if (++spins_ <= kSpinLimit) {
-      relax();
-    } else {
-      std::this_thread::yield();
-    }
-  }
-
-  void reset() { spins_ = 0; }
-
-  static void relax() {
-#if defined(__x86_64__) || defined(__i386__)
-    __builtin_ia32_pause();
-#else
-    std::this_thread::yield();
-#endif
-  }
-
- private:
-  unsigned spins_ = 0;
-};
+// Backoff policy shared with the core retry loops; see util/backoff.hpp.
+using ::moir::SpinWait;
 
 // Fixed-capacity single-producer/single-consumer ring of uint64 handles.
 // Capacity is a compile-time power of two (enforced by static_assert, not

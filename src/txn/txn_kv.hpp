@@ -55,6 +55,7 @@
 #include "reclaim/reclaimer.hpp"
 #include "stats/stats.hpp"
 #include "util/assertion.hpp"
+#include "util/backoff.hpp"
 
 namespace moir::txn {
 
@@ -163,6 +164,7 @@ class TxnKv {
     std::uint32_t h1[kMaxTxnKeys];
     std::uint64_t val[kMaxTxnKeys];
     std::uint64_t tag[kMaxTxnKeys];
+    SpinWait backoff;
     for (;;) {
       bool retry = false;
       // Collect 1: resolve handles, peek {value, tag}, help any locker.
@@ -204,6 +206,10 @@ class TxnKv {
       if (!retry) break;
       stats::count(stats::Id::kTxnRevalidate, 1, this);
       MOIR_YIELD_POINT();
+      // Each retry means a concurrent commit or an in-flight lock we just
+      // helped (txn_help): back off so the double-collect does not chase a
+      // hot writer line-for-line.
+      backoff.pause();
     }
     for (unsigned i = 0; i < n; ++i) {
       out[i] = h1[i] == kNoHandle ? kAbsent : val[i];

@@ -1,0 +1,69 @@
+// Bounded exponential backoff for optimistic retry loops.
+//
+// Every lock-free loop in this repo retries on contention: the Figure 3/5
+// constructions retry spurious RSC failures, the MCAS/STM layer retries
+// aborted transactions and re-reads helped cells, and the service's workers
+// and waiting clients spin on queues and tickets. Retrying immediately is
+// correct but pays for contention twice — the loser's retry lands back on
+// the same cache line the winner is still writing. SpinWait separates the
+// two regimes:
+//
+//  * Early rounds spin with a pipeline relax hint, and each pause() doubles
+//    the spin count (1, 2, 4, ... up to 2^(kSpinRounds-1)). Exponential
+//    growth is the classic contention-shedding shape: concurrent losers
+//    desynchronize instead of reconverging on the line every iteration.
+//  * Past the cap, each pause() yields the rest of the quantum. On
+//    oversubscribed hosts (this repo's single-core CI box) the yield path
+//    is what keeps a waiting thread from starving the peer it waits on.
+//
+// The bound matters for the nonblocking-progress story: backoff only delays
+// a retry, it never blocks on another thread's action, so lock freedom is
+// untouched — and under the ControlledScheduler the spin rounds execute no
+// yield points, so exploration trees are unchanged (retry counts inside
+// model-checked trials never reach the yield regime).
+//
+// reset() after a success restores full responsiveness for the next
+// operation; retries remain observable through the existing rsc_retry /
+// stm_abort / txn_help counters.
+#pragma once
+
+#include <thread>
+
+namespace moir {
+
+class SpinWait {
+ public:
+  // 1+2+...+2^(kSpinRounds-1) = 127 relax hints before the first yield —
+  // comparable total on-CPU wait to the previous fixed 64-spin policy, but
+  // front-loaded so uncontended retries stay fast.
+  static constexpr unsigned kSpinRounds = 7;
+
+  void pause() {
+    if (round_ < kSpinRounds) {
+      const unsigned spins = 1u << round_;
+      for (unsigned i = 0; i < spins; ++i) relax();
+      ++round_;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+
+  void reset() { round_ = 0; }
+
+  // Backoff rounds taken since the last reset (saturates at kSpinRounds
+  // once in the yield regime).
+  unsigned rounds() const { return round_; }
+
+  static void relax() {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#else
+    std::this_thread::yield();
+#endif
+  }
+
+ private:
+  unsigned round_ = 0;
+};
+
+}  // namespace moir

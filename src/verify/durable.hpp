@@ -1,0 +1,109 @@
+// Durable linearizability checking (Izraelevitz et al.'s criterion, applied
+// to the simulated-pmem crash protocol of dur/ and sim/crash.hpp).
+//
+// A crashed-and-recovered object is durably linearizable iff the operations
+// that survive the crash — every operation that COMPLETED before the crash,
+// plus some subset of the operations in flight at the crash instant — form
+// a linearizable history whose final state is what recovery actually
+// produced. The three pieces map onto the harness like this:
+//
+//   * The volatile run records a normal history (verify/history.hpp); the
+//     crash body (an extra trial thread) stamps `crash_ts` from the same
+//     clock at a schedule point of the explorer's choosing, then snapshots
+//     durable state. The other threads run on to completion in the volatile
+//     world, so every operation has a response — but responses after
+//     crash_ts never durably happened.
+//   * Recovery runs on a fresh instance restored from the snapshot;
+//     `probes` are the operations the test then performs against it (reads
+//     of every variable, typically). They observe the recovered state.
+//   * check() partitions the history at crash_ts: operations invoked after
+//     the crash are discarded; operations completed before it are
+//     mandatory (dur/dur_llsc.hpp's P3 barrier guarantees any value an
+//     operation returned was durable at the return, so a completed
+//     operation's effect may not vanish); operations spanning the crash
+//     may or may not have taken durable effect, so every subset of them is
+//     tried. For each subset the candidate history is: mandatory ops
+//     unchanged, included in-flight ops with res_ts clamped to crash_ts,
+//     probes re-stamped after every other timestamp — then handed to the
+//     standard Wing–Gong checker. Durably linearizable iff some subset
+//     passes.
+//
+// The res_ts clamp is what makes the encoding sound: an included in-flight
+// operation is being asserted to have taken effect BEFORE the crash, so it
+// must be real-time-ordered before every probe (a pre-crash thread cannot
+// take effect after recovery — it no longer exists). Clamping only ADDS
+// ordering constraints (every other surviving operation was invoked before
+// crash_ts, so no new op-vs-op edge appears), hence no false rejects; and
+// without it an "included" in-flight op could float between two probes,
+// which no real execution exhibits. Excluding an in-flight op entirely is
+// already covered by the subset enumeration, so nothing is lost.
+//
+// Cost: 2^|in-flight| inner checks. In-flight ops are at most one per
+// running thread, and crash-exploration configs keep thread counts tiny;
+// the hard assert at 16 turns an accidental quadratic-scale misuse into a
+// loud failure instead of a hang.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/assertion.hpp"
+#include "verify/history.hpp"
+#include "verify/linearizability.hpp"
+
+namespace moir {
+
+template <typename Spec>
+class DurableLinearizabilityChecker {
+ public:
+  using State = typename Spec::State;
+
+  // `history`: the full volatile-run history. `crash_ts`: the crash body's
+  // clock stamp. `probes`: operations observed on the recovered instance
+  // (their timestamps are ignored and re-stamped sequentially after all
+  // surviving operations — callers may leave them zero).
+  bool check(const std::vector<Operation>& history, std::uint64_t crash_ts,
+             const std::vector<Operation>& probes, State initial) {
+    std::vector<Operation> mandatory;
+    std::vector<Operation> in_flight;
+    std::uint64_t max_ts = crash_ts;
+    for (const Operation& op : history) {
+      if (op.inv_ts > crash_ts) continue;  // post-crash: durably never ran
+      if (op.res_ts <= crash_ts) {
+        mandatory.push_back(op);
+      } else {
+        in_flight.push_back(op);
+      }
+      max_ts = std::max(max_ts, op.res_ts);
+    }
+    MOIR_ASSERT_MSG(in_flight.size() <= 16,
+                    "2^|in-flight| subset enumeration needs a small config");
+
+    // Ascending masks try the empty subset first — the cheapest and, for
+    // crashes early in the schedule, the most likely linearization.
+    const std::uint64_t n_subsets = std::uint64_t{1} << in_flight.size();
+    for (std::uint64_t mask = 0; mask < n_subsets; ++mask) {
+      std::vector<Operation> candidate = mandatory;
+      for (std::size_t i = 0; i < in_flight.size(); ++i) {
+        if ((mask >> i & 1) == 0) continue;
+        Operation op = in_flight[i];
+        op.res_ts = crash_ts;  // asserted to have taken effect pre-crash
+        candidate.push_back(op);
+      }
+      std::uint64_t ts = max_ts + 1;
+      for (Operation probe : probes) {
+        probe.inv_ts = ts++;
+        probe.res_ts = ts++;
+        candidate.push_back(probe);
+      }
+      if (checker_.check(candidate, initial)) return true;
+    }
+    return false;
+  }
+
+ private:
+  LinearizabilityChecker<Spec> checker_;
+};
+
+}  // namespace moir

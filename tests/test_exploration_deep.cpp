@@ -19,10 +19,14 @@
 #include "core/llsc_composed.hpp"
 #include "core/llsc_from_rllrsc.hpp"
 #include "core/wide_llsc.hpp"
+#include "dur/dur_llsc.hpp"
 #include "nonblocking/stm.hpp"
 #include "platform/fault.hpp"
+#include "sim/crash.hpp"
 #include "sim/schedule.hpp"
 #include "util/env.hpp"
+#include "verify/durable.hpp"
+#include "verify/history.hpp"
 #include "verify/linearizability.hpp"
 #include "verify/spec.hpp"
 
@@ -421,6 +425,75 @@ TEST(ExplorationDeep, PctStmRecyclingConservesMoney) {
       << "STM created or destroyed money under schedule "
       << r.schedule_string();
   EXPECT_EQ(r.trials, opts.runs);
+}
+
+// ---------------------------------------------------------------------
+// Full-depth figdur crash DFS: the tier1 suite pre-opens the writer's LL
+// quiescently to keep its tree small (test_dur.cpp); here the LL runs
+// under the scheduler too, so every (LL step, SC step, read step, crash
+// point) placement — ~300k schedules — is enumerated. Every recovered
+// image must be explained by the completed ops plus some subset of the
+// in-flight ones. Plain DFS: the history clock rides between yield
+// points, so sleep sets would prune real-time edges.
+// ---------------------------------------------------------------------
+TEST(ExplorationDeep, DurCrashRecoverFullDfs) {
+  using Dur = dur::DurLlsc<>;
+  static constexpr Dur::Config kCfg{.reserve = 2, .chunk = 1,
+                                    .scan_threshold = 2, .max_members = 1};
+  auto make_trial = [] {
+    struct Shared {
+      Dur s{1, kCfg};
+      Dur::Var var;
+      std::vector<Dur::ThreadCtx> ctxs;
+      HistoryRecorder rec{2};
+      std::uint64_t crash_ts = 0;
+      std::vector<std::uint64_t> image;
+    };
+    auto sh = std::make_shared<Shared>();
+    sh->s.init_var(sh->var, 0);
+    sh->ctxs.push_back(sh->s.make_ctx());
+
+    ScheduleExplorer::Trial trial;
+    trial.bodies.push_back([sh] {  // writer: LL and SC both scheduled
+      Dur::Keep keep;
+      auto inv = sh->rec.now();
+      const std::uint64_t v = sh->s.ll(sh->ctxs[0], sh->var, keep);
+      sh->rec.add(0, 0, OpKind::kLl, 0, v, inv);
+      inv = sh->rec.now();
+      const bool ok = sh->s.sc(sh->ctxs[0], sh->var, keep, v + 1);
+      sh->rec.add(0, 0, OpKind::kSc, v + 1, ok, inv);
+    });
+    trial.bodies.push_back([sh] {  // context-free reader
+      const auto inv = sh->rec.now();
+      const std::uint64_t v = sh->s.read(sh->var);
+      sh->rec.add(1, 1, OpKind::kRead, 0, v, inv);
+    });
+    trial = testing::with_crash(std::move(trial), [sh] {
+      sh->crash_ts = sh->rec.now();
+      sh->image = sh->s.snapshot();
+    });
+    trial.check = [sh] {
+      Dur fresh(1, kCfg);
+      Dur::Var fvar;
+      fresh.init_var(fvar, 0);
+      fresh.restore_and_recover(sh->image);
+      Operation probe;
+      probe.proc = 2;
+      probe.kind = OpKind::kRead;
+      probe.ret = fresh.read(fvar);
+      DurableLinearizabilityChecker<LlscRegisterSpec> checker;
+      return checker.check(sh->rec.collect(), sh->crash_ts, {probe},
+                           LlscRegisterSpec::State{});
+    };
+    return trial;
+  };
+
+  const auto r = ScheduleExplorer::explore(make_trial, 400000);
+  EXPECT_TRUE(r.exhausted) << "trials=" << r.trials;
+  EXPECT_FALSE(r.violation_found)
+      << "non-durably-linearizable figdur recovery under schedule "
+      << r.schedule_string();
+  EXPECT_GT(r.trials, 100000u);
 }
 
 }  // namespace

@@ -31,11 +31,12 @@ REQUIRED_COUNTERS = [
     "node_free", "alloc_exhaustion", "svc_enqueue", "svc_batch", "svc_shed",
     "svc_drain", "txn_start", "txn_commit", "txn_abort", "txn_help",
     "txn_revalidate", "bw_announce", "bw_help", "bw_alloc_reuse",
+    "dur_flush", "dur_fence", "dur_recover", "reg_join", "reg_leave",
 ]
 # Substrate families run names may reference. Downstream tooling keys result
 # rows on these tokens, so a bench quietly inventing a new one (or a typo
 # like "figb") must be a hard error — exit 2, distinct from schema FAILs.
-KNOWN_SUBSTRATES = {"fig3", "fig4", "fig5", "fig6", "fig7", "figbw"}
+KNOWN_SUBSTRATES = {"fig3", "fig4", "fig5", "fig6", "fig7", "figbw", "figdur"}
 SUBSTRATE_RE = re.compile(r"(?<![a-z0-9])fig[a-z0-9]+")
 REQUIRED_RUN = ["name", "threads", "ops", "secs", "ns_per_op", "mops",
                 "latency_ns", "counters"]
