@@ -178,7 +178,13 @@ class WideLlsc {
   // caused by a successful SC).
   void read(ThreadCtx& ctx, const Var& var, std::span<std::uint64_t> out) {
     Keep keep;
+    SpinWait backoff;
     while (!wll(ctx, var, keep, out).success) {
+      // Each retry means a competing SC landed mid-read; under a write
+      // burst, backing off lets the burst finish instead of re-scanning
+      // W segments against a moving tag (same policy as the Figure 3
+      // retry loops, util/backoff.hpp).
+      backoff.pause();
     }
   }
 

@@ -23,6 +23,8 @@
 #include "platform/fault.hpp"
 #include "platform/rll_rsc.hpp"
 #include "platform/yield_point.hpp"
+#include "stats/stats.hpp"
+#include "util/backoff.hpp"
 
 namespace moir {
 
@@ -94,6 +96,7 @@ class RllRscWordProvider {
     void init(std::uint64_t v) { word_.reset_for_init(v); }
 
     bool cas(Ctx& ctx, std::uint64_t& expected, std::uint64_t desired) {
+      SpinWait backoff;
       for (;;) {
         // rll/rsc announce their own accesses; no extra yield point needed.
         const std::uint64_t cur = ctx.proc.rll(word_);   // Figure 3 line 5
@@ -102,6 +105,11 @@ class RllRscWordProvider {
           return false;
         }
         if (ctx.proc.rsc(word_, desired)) return true;   // Figure 3 line 6
+        // Spurious RSC failures cluster under contention (a neighbour's
+        // reservation-clearing write): shed it instead of hammering the
+        // line — same policy as CasFromRllRsc's Figure 3 loop.
+        stats::count(stats::Id::kRscRetry, 1, &word_);
+        backoff.pause();
       }
     }
 

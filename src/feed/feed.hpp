@@ -1,0 +1,197 @@
+// ChangeFeed: per-shard broadcast of committed updates with per-key and
+// per-shard subscription filters — the pub/sub layer over the KV service.
+//
+// One BroadcastRing per shard; the shard's executor publishes every
+// committed write (insert/upsert/erase) right after the map operation, so
+// a ring's record order IS the shard's commit order (the service's
+// per-queue executor claim makes the executor the ring's single writer,
+// and key-hashed dispatch puts all writes to one key on one ring).
+//
+// A subscription watches exactly one ring — a key filter watches the ring
+// of shard_of(key) and delivers only that key's records; a shard filter
+// delivers everything the ring carries — so its progress state is one
+// scalar cursor. Polling is wait-free: a poll scans forward from the
+// cursor, skipping filtered-out records, and completes in at most
+// capacity + max_records slot reads (the cursor can only be within
+// capacity of the writer before reads start overrunning).
+//
+// Overrun recovery ("latest value + at-least-once after resync"): when the
+// writer laps a subscriber, the lost records are gone — by design, see
+// broadcast_ring.hpp — and the subscriber falls back to the authoritative
+// map. A key subscription resyncs INSIDE poll(): it reads the key through
+// the caller-supplied resync function and delivers the result as a
+// synthetic record whose version is the ring's published() sampled AFTER
+// the map read, tagged with kResyncBit. Sampling after the read is what
+// makes versions monotone per key: the executor publishes to the ring
+// after the map commit, so any write the resync read missed has a
+// sequence >= the sampled published(), and any write it observed has a
+// smaller one. A shard subscription cannot name "its" keys, so poll()
+// only reports `resynced` and jumps the cursor to published(); the caller
+// re-reads whatever map state it cares about (examples/kv_watch.cpp).
+//
+// Subscriber slots are DynamicRegistry leases gated by an explicit count
+// (the registry asserts past its ceiling rather than failing, so the gate
+// is what turns "feed full" into a shedding kOverload at the service).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/dynamic_registry.hpp"
+#include "feed/broadcast_ring.hpp"
+#include "stats/stats.hpp"
+#include "util/assertion.hpp"
+
+namespace moir::feed {
+
+enum class Filter : std::uint8_t {
+  kKey,    // deliver records of one key (ring of shard_of(key))
+  kShard,  // deliver every record of one shard's ring
+};
+
+struct PollResult {
+  unsigned delivered = 0;  // records written to the caller's buffer
+  bool overrun = false;    // the writer lapped the cursor during this poll
+  bool resynced = false;   // the cursor was re-based on the map/published()
+};
+
+template <std::uint32_t RingCap = 64, bool SkipValidation = false>
+class ChangeFeed {
+ public:
+  using Ring = BroadcastRing<RingCap, SkipValidation>;
+
+  ChangeFeed(unsigned shards, unsigned max_subscribers)
+      : shards_(shards),
+        max_subscribers_(max_subscribers),
+        reg_(max_subscribers),
+        subs_(std::make_unique<Subscription[]>(max_subscribers)) {
+    MOIR_ASSERT(shards >= 1 && max_subscribers >= 1);
+    rings_.reserve(shards);
+    for (unsigned s = 0; s < shards; ++s) {
+      rings_.push_back(std::make_unique<Ring>());
+    }
+  }
+
+  unsigned shards() const { return shards_; }
+  unsigned max_subscribers() const { return max_subscribers_; }
+  unsigned active_subscribers() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  Ring& ring(unsigned shard) { return *rings_[shard]; }
+  const Ring& ring(unsigned shard) const { return *rings_[shard]; }
+
+  // Writer side: called by shard `shard`'s executor right after a map
+  // commit. `wire_value` uses the map wire form (0 = erased, v+1 = v).
+  // Returns the record's sequence number on the shard's ring.
+  std::uint64_t publish(unsigned shard, std::uint64_t key,
+                        std::uint64_t wire_value) {
+    return rings_[shard]->publish(key, wire_value);
+  }
+
+  // Leases a subscription watching `key` (filter kKey, shard = the key's
+  // shard, supplied by the caller since the feed does not own the hash) or
+  // a whole shard (filter kShard). The cursor starts at published(): a new
+  // subscriber sees updates committed after it subscribed, the snapshot
+  // before that is the map itself. Returns nullopt when max_subscribers
+  // leases are already out.
+  std::optional<std::uint32_t> subscribe(Filter filter, unsigned shard,
+                                         std::uint64_t key = 0) {
+    MOIR_ASSERT(shard < shards_);
+    // Gate before join(): DynamicRegistry asserts past its ceiling, the
+    // count turns exhaustion into a recoverable refusal instead.
+    unsigned n = count_.load(std::memory_order_relaxed);
+    for (;;) {
+      if (n >= max_subscribers_) return std::nullopt;
+      if (count_.compare_exchange_weak(n, n + 1,
+                                       std::memory_order_relaxed,
+                                       std::memory_order_relaxed)) {
+        break;
+      }
+    }
+    const std::uint32_t id = reg_.join();
+    Subscription& sub = subs_[id];
+    sub.filter = filter;
+    sub.shard = shard;
+    sub.key = key;
+    sub.cursor = rings_[shard]->published();
+    return id;
+  }
+
+  // Returns the lease. The caller must have consumed every outstanding
+  // poll for `id` first — the slot is immediately reusable by the next
+  // subscribe (same discipline as ticket slots).
+  void unsubscribe(std::uint32_t id) {
+    MOIR_ASSERT(id < max_subscribers_);
+    reg_.leave(id);
+    count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  // Reader side. Fills up to `max` records; `resync(key)` must return the
+  // key's current wire-form value from the authoritative map. Calls for
+  // one subscription must be serialized by the caller (the service's
+  // per-queue claim does this; a direct subscriber is naturally its own
+  // single poller) — the cursor is deliberately not atomic.
+  template <class ResyncFn>
+  PollResult poll(std::uint32_t id, Record* out, unsigned max,
+                  ResyncFn&& resync) {
+    MOIR_ASSERT(id < max_subscribers_);
+    Subscription& sub = subs_[id];
+    Ring& ring = *rings_[sub.shard];
+    PollResult res;
+    Record rec;
+    // Slot-read budget: without it a writer publishing as fast as a key
+    // filter skips could chase the cursor indefinitely. One ring's worth
+    // of skips plus the requested records bounds the scan, keeping poll
+    // wait-free rather than merely lock-free.
+    unsigned budget = RingCap + max;
+    while (res.delivered < max && budget-- > 0) {
+      const ReadStatus st = ring.read(sub.cursor, rec);
+      if (st == ReadStatus::kNotReady) break;
+      if (st == ReadStatus::kOverrun) {
+        res.overrun = true;
+        res.resynced = true;
+        stats::count(stats::Id::kFeedResync, 1, this);
+        if (sub.filter == Filter::kKey) {
+          // Map read FIRST, published() sample SECOND: see file comment
+          // for why this order keeps per-key versions monotone.
+          rec.key = sub.key;
+          rec.value = resync(sub.key);
+          const std::uint64_t ver = ring.published();
+          rec.version = ver | kResyncBit;
+          sub.cursor = ver;
+          out[res.delivered++] = rec;
+          stats::count(stats::Id::kFeedDeliver, 1, this);
+        } else {
+          // A shard subscriber re-reads its own keys; just re-base.
+          sub.cursor = ring.published();
+        }
+        continue;
+      }
+      sub.cursor += 1;
+      if (sub.filter == Filter::kKey && rec.key != sub.key) continue;
+      out[res.delivered++] = rec;
+      stats::count(stats::Id::kFeedDeliver, 1, this);
+    }
+    return res;
+  }
+
+ private:
+  struct Subscription {
+    Filter filter = Filter::kKey;
+    unsigned shard = 0;
+    std::uint64_t key = 0;
+    std::uint64_t cursor = 0;
+  };
+
+  const unsigned shards_;
+  const unsigned max_subscribers_;
+  std::vector<std::unique_ptr<Ring>> rings_;
+  std::atomic<unsigned> count_{0};  // gate: leases handed out
+  DynamicRegistry reg_;
+  std::unique_ptr<Subscription[]> subs_;
+};
+
+}  // namespace moir::feed

@@ -53,6 +53,10 @@ const char* name(Id id) {
     case Id::kDurRecover: return "dur_recover";
     case Id::kRegJoin: return "reg_join";
     case Id::kRegLeave: return "reg_leave";
+    case Id::kFeedPublish: return "feed_publish";
+    case Id::kFeedDeliver: return "feed_deliver";
+    case Id::kFeedOverrun: return "feed_overrun";
+    case Id::kFeedResync: return "feed_resync";
     case Id::kNumIds: break;
   }
   return "unknown";

@@ -95,6 +95,10 @@ enum class Id : std::uint8_t {
   kDurRecover,    // figdur recovery rebuilt volatile state from durable
   kRegJoin,       // DynamicRegistry membership join (elastic pool, figdur)
   kRegLeave,      // DynamicRegistry membership leave
+  kFeedPublish,   // committed update appended to a shard's broadcast ring
+  kFeedDeliver,   // record handed to a subscriber (incl. resync records)
+  kFeedOverrun,   // subscriber cursor lapped by the writer (slot recycled)
+  kFeedResync,    // subscriber recovered from an overrun via a map read
   kNumIds
 };
 

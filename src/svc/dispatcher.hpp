@@ -44,6 +44,17 @@ enum class Op : std::uint8_t {
   kMultiGet,
   kMultiPut,
   kMultiCas,
+  // Change-feed verbs (feed mode only; see src/feed/feed.hpp and the
+  // service's execute_feed). kSubscribe: key = watched key (value == 0)
+  // or shard index (value == 1), resp_value = the subscription id.
+  // kUnsubscribe: key = the id. kPoll: key = the id, value = max records
+  // (<= kMaxTxnKeys); the executor returns delivered records through the
+  // keys/args/exps arrays (key/value/version per record — safe to reuse
+  // because the done==gen handshake means the client is not reading them)
+  // and packs count + overrun/resync flags into resp_value.
+  kSubscribe,
+  kUnsubscribe,
+  kPoll,
 };
 
 enum class Status : std::uint8_t {

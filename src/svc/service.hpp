@@ -46,6 +46,7 @@
 #include "core/dynamic_registry.hpp"
 #include "core/llsc_traits.hpp"
 #include "core/process_registry.hpp"
+#include "feed/feed.hpp"
 #include "map/sharded_map.hpp"
 #include "platform/yield_point.hpp"
 #include "reclaim/reclaimer.hpp"
@@ -59,14 +60,17 @@
 namespace moir::svc {
 
 // RingCap: per-session SPSC ring capacity (compile-time power of two).
+// FeedRingCap: per-shard broadcast-ring capacity in feed mode (tiny in the
+// adversarial exploration tests, 64 for real deployments).
 template <SmallLlscSubstrate S, reclaim::Reclaimer R,
-          std::uint32_t RingCap = 64>
+          std::uint32_t RingCap = 64, std::uint32_t FeedRingCap = 64>
 class KvService {
  public:
   using Map = ShardedHashMap<S, R>;
   using Disp = Dispatcher<S, R>;
   using Txn = txn::TxnKv<S, R>;
   using Ring = SpscRing<RingCap>;
+  using Feed = feed::ChangeFeed<FeedRingCap>;
 
   static_assert(kMaxTxnKeys == Txn::kMaxTxnKeys,
                 "dispatcher slot arrays must fit a full transaction");
@@ -98,6 +102,17 @@ class KvService {
     // accepted. Single-key semantics are unchanged; off (the default)
     // keeps the plain map path and rejects multi-key submits.
     bool txn = false;
+    // Change-feed mode: every committed write is broadcast on the key's
+    // shard ring and the kSubscribe/kUnsubscribe/kPoll verbs are accepted
+    // (src/feed/feed.hpp). Feed mode serializes each dispatch queue's
+    // execution through a try-claim so the queue's ring has a single
+    // writer (see pump()); mutually exclusive with txn mode, whose
+    // authoritative values live in Mcas cells the plain commit path never
+    // sees.
+    bool feed = false;
+    // Subscription-lease ceiling; a kSubscribe past it completes with
+    // kOverload (shedding, never blocking).
+    unsigned feed_max_subscribers = 8;
     typename Map::Config map{};
   };
 
@@ -170,7 +185,18 @@ class KvService {
     MOIR_ASSERT(cfg_.batch >= 1 && cfg_.queues >= 1);
     MOIR_ASSERT(cfg_.tickets_per_session >= 1 && cfg_.max_sessions >= 1);
     MOIR_ASSERT(cfg_.grow_streak >= 1 && cfg_.shrink_idle >= 1);
+    MOIR_ASSERT_MSG(!(cfg_.feed && cfg_.txn),
+                    "feed mode broadcasts plain-map commits; txn values "
+                    "live in Mcas cells the feed hook cannot see");
     if (cfg_.txn) txn_ = std::make_unique<Txn>(map_, max_threads_);
+    if (cfg_.feed) {
+      feed_ = std::make_unique<Feed>(cfg_.queues, cfg_.feed_max_subscribers);
+      queue_claims_ =
+          std::make_unique<std::atomic<bool>[]>(cfg_.queues);
+      for (unsigned q = 0; q < cfg_.queues; ++q) {
+        queue_claims_[q].store(false, std::memory_order_relaxed);
+      }
+    }
     sessions_.reserve(cfg_.max_sessions);
     for (unsigned i = 0; i < cfg_.max_sessions; ++i) {
       sessions_.push_back(std::make_unique<SessionState>(cfg_));
@@ -341,6 +367,57 @@ class KvService {
     }
   }
 
+  // ----- Feed client API (feed mode; see src/feed/feed.hpp) ----------------
+  //
+  // Submit side reuses submit(): kSubscribe with (key, 0) / (shard, 1),
+  // kUnsubscribe with (id), kPoll with (id, max_records). poll_feed
+  // decodes a kPoll completion.
+
+  // Flag bits packed next to the record count in a kPoll resp_value.
+  static constexpr std::uint64_t kPollOverrun = std::uint64_t{1} << 8;
+  static constexpr std::uint64_t kPollResynced = std::uint64_t{1} << 9;
+
+  struct FeedDelivery {
+    Status status = Status::kOk;  // kOverload: feed off / subscriber limit
+    unsigned delivered = 0;
+    bool overrun = false;   // the writer lapped this subscription's cursor
+    bool resynced = false;  // cursor re-based (key: resync record included)
+  };
+
+  // Non-blocking completion check for a kPoll ticket: copies up to `max`
+  // delivered records into `out` and consumes the ticket. nullopt while
+  // the request is still in flight.
+  std::optional<FeedDelivery> poll_feed(ClientCtx& c, const Ticket& t,
+                                        feed::Record* out, unsigned max) {
+    SessionState& ss = *sessions_[c.sid_];
+    TicketSlot& ts = ss.slots[t.slot];
+    MOIR_YIELD_READ(&ts.done);
+    if (ts.done.load(std::memory_order_acquire) != t.gen) {
+      return std::nullopt;
+    }
+    FeedDelivery d;
+    d.status = ts.resp_status;
+    if (d.status == Status::kOk) {
+      d.delivered = static_cast<unsigned>(ts.resp_value & 0xff);
+      d.overrun = (ts.resp_value & kPollOverrun) != 0;
+      d.resynced = (ts.resp_value & kPollResynced) != 0;
+      for (unsigned i = 0; i < d.delivered && i < max; ++i) {
+        out[i] = feed::Record{ts.keys[i], ts.args[i], ts.exps[i]};
+      }
+    }
+    ss.free.push_back(t.slot);
+    return d;
+  }
+
+  FeedDelivery wait_feed(ClientCtx& c, const Ticket& t, feed::Record* out,
+                         unsigned max) {
+    SpinWait sw;
+    for (;;) {
+      if (auto d = poll_feed(c, t, out, max)) return *d;
+      sw.pause();
+    }
+  }
+
   // ----- Executor API (workers call these; tests/benches may pump
   // manually when cfg.workers == 0) ----------------------------------------
 
@@ -368,18 +445,32 @@ class KvService {
   // publishes responses. Returns requests completed. `obs(handle,
   // response)` fires after the map operation and before the publication —
   // the test harness's completion timestamp hook.
+  //
+  // Feed mode additionally wraps each queue's batch in a TRY-claim: the
+  // broadcast ring wants one writer per shard, and the claim makes queue
+  // execution exclusive without blocking — a worker that loses the race
+  // just moves to the next queue (the holder is executing the very batch
+  // the loser wanted, so system-wide progress is unchanged; a parked
+  // holder stalls only its own queue, the same degradation the SPSC
+  // router already accepts). The release/acquire pair on the claim word
+  // also carries the happens-before edge that hands the ring's writer
+  // role — and the feed-op subscription cursors, which ride the same
+  // key-hashed routing — from one worker to the next.
   template <class Observer>
   unsigned pump(WorkerCtx& w, Observer&& obs) {
     unsigned total = 0;
     const unsigned nq = disp_.queue_count();
     for (unsigned i = 0; i < nq; ++i) {
       const unsigned q = (w.rotor + i) % nq;
+      if (feed_ && !claim_queue(q)) continue;
       const unsigned k = disp_.pop_batch(w.dctx, q, w.buf.data(), cfg_.batch);
-      if (k == 0) continue;
-      stats::count(stats::Id::kSvcBatch);
-      stats::record(stats::HistId::kSvcBatchSize, k);
-      for (unsigned j = 0; j < k; ++j) execute(w, w.buf[j], obs);
-      total += k;
+      if (k != 0) {
+        stats::count(stats::Id::kSvcBatch);
+        stats::record(stats::HistId::kSvcBatchSize, k);
+        for (unsigned j = 0; j < k; ++j) execute(w, w.buf[j], obs);
+        total += k;
+      }
+      if (feed_) release_queue(q);
     }
     w.rotor = nq == 0 ? 0 : (w.rotor + 1) % nq;
     return total;
@@ -448,6 +539,19 @@ class KvService {
     return *txn_;
   }
   typename Txn::ThreadCtx make_txn_ctx() { return txn().make_ctx(); }
+
+  // Feed-mode introspection and the direct-subscriber path: bench/example
+  // threads may subscribe and poll the ChangeFeed in-process (each such
+  // subscriber is its own single poller), bypassing the kPoll verb — the
+  // ring read path is write-free, so out-of-band readers cost the
+  // pipeline nothing.
+  bool feed_enabled() const { return feed_ != nullptr; }
+  Feed& feed() {
+    MOIR_ASSERT(cfg_.feed);
+    return *feed_;
+  }
+  // The feed shard a key's commits are broadcast on (== dispatch queue).
+  unsigned shard_of(std::uint64_t key) const { return disp_.queue_of(key); }
 
   // ----- Shutdown ----------------------------------------------------------
 
@@ -546,18 +650,24 @@ class KvService {
         r.value = v.value_or(0);
         break;
       }
-      case Op::kInsert:
-        r.status = map_.insert(w.mctx, ts.key, ts.value) ? Status::kOk
-                                                         : Status::kNotFound;
+      case Op::kInsert: {
+        const bool ok = map_.insert(w.mctx, ts.key, ts.value);
+        r.status = ok ? Status::kOk : Status::kNotFound;
+        if (ok) publish_commit(ts.key, ts.value + 1);
         break;
+      }
       case Op::kUpsert:
+        // Both outcomes (inserted / updated in place) committed a write.
         r.status = map_.upsert(w.mctx, ts.key, ts.value) ? Status::kOk
                                                          : Status::kNotFound;
+        publish_commit(ts.key, ts.value + 1);
         break;
-      case Op::kErase:
-        r.status =
-            map_.erase(w.mctx, ts.key) ? Status::kOk : Status::kNotFound;
+      case Op::kErase: {
+        const bool ok = map_.erase(w.mctx, ts.key);
+        r.status = ok ? Status::kOk : Status::kNotFound;
+        if (ok) publish_commit(ts.key, 0);
         break;
+      }
       case Op::kMultiGet:
       case Op::kMultiPut:
       case Op::kMultiCas:
@@ -565,8 +675,78 @@ class KvService {
         // rather than corrupt state.
         r.status = Status::kOverload;
         break;
+      case Op::kSubscribe:
+      case Op::kUnsubscribe:
+      case Op::kPoll:
+        execute_feed(w, ts, r);
+        break;
     }
     complete(ts, r, handle, obs);
+  }
+
+  // Broadcast a committed write on its shard's ring (feed mode only).
+  // Called after the map operation and before the response publication,
+  // from inside the queue claim: the ring's single-writer requirement is
+  // exactly "one claim holder per queue", and dispatch queue == feed shard
+  // (both are queue_of(key)), so every write to a key lands on one ring
+  // in its commit order.
+  void publish_commit(std::uint64_t key, std::uint64_t wire_value) {
+    if (feed_) feed_->publish(disp_.queue_of(key), key, wire_value);
+  }
+
+  // Feed verbs run executor-side, which keeps the admission path free of
+  // registration: a shed request (EBUSY at submit) provably never touched
+  // a subscription lease. kSubscribe routes by the watched key, kPoll and
+  // kUnsubscribe by the subscription id — so all polls of one
+  // subscription land on one queue and the claim serializes its cursor.
+  void execute_feed(WorkerCtx& w, TicketSlot& ts, Response& r) {
+    if (feed_ == nullptr) {
+      r.status = Status::kOverload;  // feed verbs need Config::feed
+      return;
+    }
+    switch (ts.op) {
+      case Op::kSubscribe: {
+        const bool shard_filter = ts.value != 0;
+        const unsigned shard =
+            shard_filter ? static_cast<unsigned>(ts.key % cfg_.queues)
+                         : disp_.queue_of(ts.key);
+        const auto id =
+            shard_filter ? feed_->subscribe(feed::Filter::kShard, shard)
+                         : feed_->subscribe(feed::Filter::kKey, shard, ts.key);
+        r.status = id.has_value() ? Status::kOk : Status::kOverload;
+        r.value = id.value_or(0);
+        break;
+      }
+      case Op::kUnsubscribe:
+        feed_->unsubscribe(static_cast<std::uint32_t>(ts.key));
+        r.status = Status::kOk;
+        break;
+      case Op::kPoll: {
+        const auto id = static_cast<std::uint32_t>(ts.key);
+        const unsigned max = static_cast<unsigned>(std::min<std::uint64_t>(
+            ts.value == 0 ? kMaxTxnKeys : ts.value, kMaxTxnKeys));
+        feed::Record recs[kMaxTxnKeys];
+        const feed::PollResult pr =
+            feed_->poll(id, recs, max, [&](std::uint64_t key) {
+              const auto v = map_.find(w.mctx, key);
+              return v.has_value() ? *v + 1 : 0;
+            });
+        // Reuse the multi-key arrays as the delivery vector; the client
+        // reads them back through poll_feed after done==gen.
+        for (unsigned i = 0; i < pr.delivered; ++i) {
+          ts.keys[i] = recs[i].key;
+          ts.args[i] = recs[i].value;
+          ts.exps[i] = recs[i].version;
+        }
+        r.status = Status::kOk;
+        r.value = pr.delivered | (pr.overrun ? kPollOverrun : 0) |
+                  (pr.resynced ? kPollResynced : 0);
+        break;
+      }
+      default:
+        r.status = Status::kOverload;
+        break;
+    }
   }
 
   // Txn-mode execution: single-key verbs keep their map semantics but run
@@ -604,6 +784,12 @@ class KvService {
         r.status = to_status(txn_->multi_cas(
             tctx, std::span(ts.keys, ts.nkeys), std::span(ts.exps, ts.nkeys),
             std::span(ts.args, ts.nkeys), std::span(ts.resp_values, ts.nkeys)));
+        break;
+      case Op::kSubscribe:
+      case Op::kUnsubscribe:
+      case Op::kPoll:
+        // Feed mode and txn mode are mutually exclusive (ctor assert).
+        r.status = Status::kOverload;
         break;
     }
   }
@@ -698,6 +884,19 @@ class KvService {
     return true;
   }
 
+  // Feed-mode queue exclusivity: acquire on the winning exchange pairs
+  // with the release store in release_queue, ordering the previous
+  // holder's ring publishes and cursor updates before ours.
+  bool claim_queue(unsigned q) {
+    MOIR_YIELD_UPDATE(&queue_claims_[q]);
+    return !queue_claims_[q].exchange(true, std::memory_order_acquire);
+  }
+
+  void release_queue(unsigned q) {
+    MOIR_YIELD_WRITE(&queue_claims_[q]);
+    queue_claims_[q].store(false, std::memory_order_release);
+  }
+
   void router_main() {
     auto rc = disp_.make_ctx();
     SpinWait sw;
@@ -726,6 +925,10 @@ class KvService {
   // Declared after map_ (hence destroyed first): TxnKv holds Map& plus
   // the cell store; its per-worker ctxs die with the worker threads.
   std::unique_ptr<Txn> txn_;
+  // Feed mode only (both null otherwise). The claims serialize queue
+  // execution so each broadcast ring keeps a single writer; see pump().
+  std::unique_ptr<Feed> feed_;
+  std::unique_ptr<std::atomic<bool>[]> queue_claims_;
   ProcessRegistry session_reg_;
   // Membership leases for the elastic pool (2x ceiling: a retiree's lease
   // may overlap its replacement's). Never used by the stats layer, so the

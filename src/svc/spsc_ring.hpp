@@ -88,6 +88,17 @@ class SpscRing {
 
   bool empty_approx() const { return size() == 0; }
 
+  // TEST ONLY: re-bases both free-running indices on an empty ring so
+  // tests can place them just below an arithmetic boundary (e.g. 2^32)
+  // without pushing four billion elements. Never call with traffic in
+  // flight — both ends' views are rewritten non-atomically.
+  void reset_indices_for_test(std::uint64_t start) {
+    head_.idx.store(start, std::memory_order_relaxed);
+    head_.cached_other = start;
+    tail_.idx.store(start, std::memory_order_relaxed);
+    tail_.cached_other = start;
+  }
+
  private:
   static constexpr std::uint32_t mask_ = kCap - 1;
 

@@ -1,0 +1,169 @@
+// Feed-coherence checker: validates a subscriber's delivered stream
+// against the writer's committed history.
+//
+// The feed's contract ("latest value + at-least-once after resync",
+// src/feed/feed.hpp) is weaker than linearizability — records may be LOST
+// on overrun — so the Wing–Gong checker does not apply. What must still
+// hold, and what this checker enforces per key over one subscription's
+// stream, is:
+//
+//  1. No invention: every delivered ring record carries a (key, value)
+//     pair the writer actually committed, and in commit order — the
+//     delivered values form a subsequence of the commit sequence. This is
+//     the property the planted SkipValidation bug breaks: a torn record
+//     pairs one commit's key with a later commit's value, which (with
+//     per-key-unique values, the trials' discipline) appears in no key's
+//     commit sequence.
+//  2. Versions monotone: the masked versions never decrease per key, and
+//     strictly increase between ring records (each ring record has a
+//     distinct sequence number).
+//  3. Resync coherence: a resync record's value is a commit the writer
+//     could have been at — at or after the last delivered one (the
+//     ring-publish happens-before chain makes older map states impossible
+//     to read; see feed.hpp), or the initial absence when nothing was
+//     delivered yet.
+//  4. Convergence: after the writer quiesced and a final poll ran, the
+//     last delivered value per key equals the key's final map value.
+//
+// Trials feed commits in per-key program order (the single-writer-per-
+// shard discipline the service enforces) with values UNIQUE per key;
+// check() is single-threaded (run in the trial's post-join check phase).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "feed/broadcast_ring.hpp"
+
+namespace moir::testing {
+
+class FeedChecker {
+ public:
+  // Record a committed write in per-key commit order (wire form: 0 =
+  // erased, v+1 = v). Values must be unique within a key.
+  void commit(std::uint64_t key, std::uint64_t wire_value) {
+    committed_[key].push_back(wire_value);
+  }
+
+  // The key's wire-form map value after the writer quiesced.
+  void set_final(std::uint64_t key, std::uint64_t wire_value) {
+    final_[key] = wire_value;
+  }
+
+  const std::vector<std::uint64_t>& committed(std::uint64_t key) const {
+    static const std::vector<std::uint64_t> kEmpty;
+    const auto it = committed_.find(key);
+    return it == committed_.end() ? kEmpty : it->second;
+  }
+
+  // Properties 1-3 over one subscription's delivered stream, in delivery
+  // order. On failure fills `diag` and returns false.
+  bool check_stream(std::span<const feed::Record> stream,
+                    std::string* diag) const {
+    std::map<std::uint64_t, long> pos;        // last matched commit index
+    std::map<std::uint64_t, std::uint64_t> last_ver;
+    std::map<std::uint64_t, bool> last_was_resync;
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      const feed::Record& r = stream[i];
+      const bool resync = (r.version & feed::kResyncBit) != 0;
+      const std::uint64_t ver = r.version & ~feed::kResyncBit;
+      const bool prev_resync = last_was_resync[r.key];
+      if (const auto it = last_ver.find(r.key); it != last_ver.end()) {
+        const bool strict = !resync && !prev_resync;
+        if (ver < it->second || (strict && ver == it->second)) {
+          return explain(diag, i, r, "version not monotone");
+        }
+      }
+      last_ver[r.key] = ver;
+      last_was_resync[r.key] = resync;
+
+      const auto cit = committed_.find(r.key);
+      long& p = pos.try_emplace(r.key, -1).first->second;
+      if (resync && r.value == 0 && p < 0) {
+        continue;  // resync before any delivery observed initial absence
+      }
+      if (cit == committed_.end()) {
+        return explain(diag, i, r, "delivered for a never-committed key");
+      }
+      long found = -1;
+      for (std::size_t j = 0; j < cit->second.size(); ++j) {
+        if (cit->second[j] == r.value) {
+          found = static_cast<long>(j);
+          break;
+        }
+      }
+      if (found < 0) {
+        return explain(diag, i, r, "value never committed for this key");
+      }
+      // A ring record normally advances strictly past the last position;
+      // two legal exceptions repeat it: a resync may re-read the value it
+      // (or a delivered record) already carried, and the FIRST ring
+      // record after a resync may re-deliver the commit the resync's map
+      // read had already jumped to — that's the "at-least-once after
+      // resync" in the contract, not a duplicate.
+      const bool repeat_ok = resync || prev_resync;
+      if (repeat_ok ? found < p : found <= p) {
+        return explain(diag, i, r, "value out of commit order");
+      }
+      p = found;
+    }
+    return true;
+  }
+
+  // Property 4. Call only after the writer quiesced AND a final drain
+  // poll completed: the last delivered value of every committed key must
+  // be that key's final value (an overrun on the final poll still
+  // delivers a resync record carrying it).
+  bool check_converged(std::span<const feed::Record> stream,
+                       std::string* diag) const {
+    std::map<std::uint64_t, std::uint64_t> last;
+    for (const feed::Record& r : stream) last[r.key] = r.value;
+    for (const auto& [key, fin] : final_) {
+      const auto it = last.find(key);
+      if (it == last.end()) {
+        if (committed_.count(key) != 0 && !committed_.at(key).empty()) {
+          if (diag != nullptr) {
+            std::ostringstream os;
+            os << "key " << key << ": committed but nothing delivered "
+               << "after final drain";
+            *diag = os.str();
+          }
+          return false;
+        }
+        continue;
+      }
+      if (it->second != fin) {
+        if (diag != nullptr) {
+          std::ostringstream os;
+          os << "key " << key << ": last delivered " << it->second
+             << " != final map value " << fin;
+          *diag = os.str();
+        }
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  static bool explain(std::string* diag, std::size_t i,
+                      const feed::Record& r, const char* what) {
+    if (diag != nullptr) {
+      std::ostringstream os;
+      os << "record " << i << " {key=" << r.key << " value=" << r.value
+         << " version=" << (r.version & ~feed::kResyncBit)
+         << (r.version & feed::kResyncBit ? " resync" : "") << "}: " << what;
+      *diag = os.str();
+    }
+    return false;
+  }
+
+  std::map<std::uint64_t, std::vector<std::uint64_t>> committed_;
+  std::map<std::uint64_t, std::uint64_t> final_;
+};
+
+}  // namespace moir::testing

@@ -74,6 +74,86 @@ TEST(SpscRing, SizeAndCapacityObservers) {
   }
 }
 
+// Smallest ring with a distinct full and non-empty partial state: one
+// free slot after a push, exact full/empty detection, FIFO across reuse.
+TEST(SpscRing, MinimumCapacityTwo) {
+  svc::SpscRing<2> ring;
+  static_assert(svc::SpscRing<2>::capacity() == 2);
+  std::uint64_t v = 0;
+  for (int round = 0; round < 5; ++round) {
+    EXPECT_TRUE(ring.try_push(10 + round));
+    EXPECT_TRUE(ring.try_push(20 + round));
+    EXPECT_FALSE(ring.try_push(99)) << "2-slot ring full after two pushes";
+    EXPECT_EQ(ring.size(), 2u);
+    ASSERT_TRUE(ring.try_pop(v));
+    EXPECT_EQ(v, 10u + round);
+    ASSERT_TRUE(ring.try_pop(v));
+    EXPECT_EQ(v, 20u + round);
+    EXPECT_FALSE(ring.try_pop(v));
+  }
+}
+
+// The free-running indices are 64-bit on purpose; this re-bases them just
+// below 2^32 and walks traffic across the boundary, where a 32-bit index
+// (or a size computed in 32 bits) would wrap to garbage.
+TEST(SpscRing, IndexWraparoundAcross32BitBoundary) {
+  svc::SpscRing<8> ring;
+  ring.reset_indices_for_test((std::uint64_t{1} << 32) - 3);
+  std::uint64_t v = 0;
+  // Straddle the boundary with a partially-filled ring in flight.
+  for (std::uint64_t i = 0; i < 6; ++i) EXPECT_TRUE(ring.try_push(100 + i));
+  EXPECT_EQ(ring.size(), 6u);
+  for (std::uint64_t i = 0; i < 2; ++i) {
+    ASSERT_TRUE(ring.try_pop(v));
+    EXPECT_EQ(v, 100 + i);
+  }
+  for (std::uint64_t i = 6; i < 10; ++i) EXPECT_TRUE(ring.try_push(100 + i));
+  EXPECT_EQ(ring.size(), 8u);
+  EXPECT_FALSE(ring.try_push(999)) << "full at capacity across the boundary";
+  for (std::uint64_t i = 2; i < 10; ++i) {
+    ASSERT_TRUE(ring.try_pop(v));
+    EXPECT_EQ(v, 100 + i) << "FIFO order broken across the 2^32 boundary";
+  }
+  EXPECT_FALSE(ring.try_pop(v));
+  EXPECT_EQ(ring.size(), 0u);
+}
+
+// The ticket seqlock: one slot recycled through many generations. Each
+// reuse bumps gen, and done==gen from a STALE generation must never
+// complete a newer ticket (the slot's whole completion protocol).
+TEST(KvService, TicketGenerationReuseAfterDrain) {
+  Sub sub;
+  Svc svc(sub, {.queues = 1,
+                .queue_capacity = 16,
+                .workers = 0,
+                .max_sessions = 1,
+                .tickets_per_session = 1,  // every request reuses slot 0
+                .use_rings = false,
+                .map = {.shards = 1, .buckets_per_shard = 4,
+                        .capacity_per_shard = 32}});
+  auto c = svc.connect();
+  auto w = svc.make_worker_ctx();
+  std::uint64_t last_gen = 0;
+  for (std::uint64_t round = 1; round <= 6; ++round) {
+    const auto t = svc.submit(c, Op::kUpsert, 5, round * 11);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_EQ(t->slot, 0u);
+    EXPECT_GT(t->gen, last_gen) << "generation must advance on slot reuse";
+    last_gen = t->gen;
+    EXPECT_FALSE(svc.poll(c, *t).has_value())
+        << "stale done word must not satisfy a newer generation";
+    EXPECT_EQ(svc.pump(w), 1u);
+    const auto r = svc.poll(c, *t);
+    ASSERT_TRUE(r.has_value());
+    const auto tf = svc.submit(c, Op::kFind, 5, 0);
+    ASSERT_TRUE(tf.has_value());
+    svc.pump(w);
+    const auto rf = svc.poll(c, *tf);
+    ASSERT_TRUE(rf.has_value());
+    EXPECT_EQ(rf->value, round * 11);
+  }
+}
+
 // The router's key->queue hash must spread a dense key space evenly:
 // chi-squared over 1e5 sequential keys into 4 queues, against a cutoff
 // far beyond df=3 noise (p << 1e-4) — catches a route that degenerates

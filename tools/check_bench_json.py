@@ -32,7 +32,14 @@ REQUIRED_COUNTERS = [
     "svc_drain", "txn_start", "txn_commit", "txn_abort", "txn_help",
     "txn_revalidate", "bw_announce", "bw_help", "bw_alloc_reuse",
     "dur_flush", "dur_fence", "dur_recover", "reg_join", "reg_leave",
+    "feed_publish", "feed_deliver", "feed_overrun", "feed_resync",
 ]
+# The complete feed counter family. Like substrates, downstream tooling
+# keys dashboards on these names, so a bench exporting a feed_* counter
+# outside the catalogue (rename, typo) is exit 2, not a soft pass.
+KNOWN_FEED_COUNTERS = {
+    "feed_publish", "feed_deliver", "feed_overrun", "feed_resync",
+}
 # Substrate families run names may reference. Downstream tooling keys result
 # rows on these tokens, so a bench quietly inventing a new one (or a typo
 # like "figb") must be a hard error — exit 2, distinct from schema FAILs.
@@ -66,6 +73,29 @@ def check_substrates(doc, source):
                     f"'{token}' (known: {', '.join(sorted(KNOWN_SUBSTRATES))})")
 
 
+def check_feed_tokens(doc, source):
+    counter_maps = [(f"run '{r.get('name')}'", r.get("counters", {}))
+                    for r in doc["runs"]]
+    counter_maps.append(("global counters", doc["counters"]))
+    for where, counters in counter_maps:
+        for key in counters:
+            if key.startswith("feed_") and key not in KNOWN_FEED_COUNTERS:
+                fail_unknown_substrate(
+                    f"{source}: {where} exports unknown feed counter "
+                    f"'{key}' (known: {', '.join(sorted(KNOWN_FEED_COUNTERS))})")
+
+
+def check_feed_coherence(doc, source):
+    """E17 (bench_feed) exports feed_version_violations: delivered records
+    whose per-key version went backwards. Any nonzero value means the
+    broadcast path delivered torn/stale data — hard FAIL, not a perf note.
+    """
+    violations = doc["metrics"].get("feed_version_violations")
+    if violations is not None and violations != 0:
+        fail(f"{source}: feed_version_violations = {violations} "
+             f"(delivered versions must be monotone per key)")
+
+
 def check_doc(doc, source, min_runs):
     for key in REQUIRED_TOP:
         if key not in doc:
@@ -96,6 +126,8 @@ def check_doc(doc, source, min_runs):
         if hist not in doc["histograms"]:
             fail(f"{source}: histograms missing '{hist}'")
     check_substrates(doc, source)
+    check_feed_tokens(doc, source)
+    check_feed_coherence(doc, source)
 
 
 def main():
