@@ -21,13 +21,21 @@
 // resync" semantics, the right contract for cache-invalidation and
 // watch-style workloads where only the newest value matters.
 //
-// Memory ordering mirrors the seqlock in bw_llsc.hpp: writer stores the
-// odd stamp relaxed, the payload, then the even stamp with release; a
-// reader loads the stamp with acquire, the payload with acquire (so the
-// relaxed re-validation load below cannot be hoisted above the payload
-// reads), and re-checks the stamp relaxed. The reader's entry check on
-// published() gives the acquire edge that makes "stamp below 2*seq+2"
-// impossible for any seq < published().
+// Memory ordering extends the seqlock in bw_llsc.hpp to a TWO-word
+// payload: the writer stores the odd stamp relaxed, then BOTH payload
+// words with release, then the even stamp with release; a reader loads
+// the stamp with acquire, the payload with acquire (so the relaxed
+// re-validation load below cannot be hoisted above the payload reads),
+// and re-checks the stamp relaxed. Each payload store must be release —
+// not just the last one — because a reader lapped mid-rewrite may observe
+// either word's new value first: whichever it is, the acquire load of
+// that word synchronizes with its release store and makes the preceding
+// odd stamp visible to the re-validation load, which then reports the
+// overrun instead of returning a torn {new key, old value} record. (With
+// a relaxed key store that torn record is reachable on weakly-ordered
+// hardware; DFS/PCT explore SC interleavings only and cannot see it.)
+// The reader's entry check on published() gives the acquire edge that
+// makes "stamp below 2*seq+2" impossible for any seq < published().
 //
 // SkipValidation is a PLANTED BUG for the negative-control tests: it
 // compiles out the re-validation load, so a reader that overlaps a writer
@@ -90,7 +98,7 @@ class BroadcastRing {
     s.stamp.store(2 * seq + 1, std::memory_order_relaxed);
     MOIR_YIELD_STEP(::moir::testing::StepInfo::write(&s.key)
                         .also_write(&s.value));
-    s.key.store(key, std::memory_order_relaxed);
+    s.key.store(key, std::memory_order_release);
     s.value.store(value, std::memory_order_release);
     MOIR_YIELD_WRITE(&s.stamp);
     s.stamp.store(2 * seq + 2, std::memory_order_release);

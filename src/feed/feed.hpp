@@ -18,16 +18,27 @@
 // Overrun recovery ("latest value + at-least-once after resync"): when the
 // writer laps a subscriber, the lost records are gone — by design, see
 // broadcast_ring.hpp — and the subscriber falls back to the authoritative
-// map. A key subscription resyncs INSIDE poll(): it reads the key through
+// map. A key subscription resyncs INSIDE poll(): it samples the ring's
+// published() FIRST, re-bases the cursor there, then reads the key through
 // the caller-supplied resync function and delivers the result as a
-// synthetic record whose version is the ring's published() sampled AFTER
-// the map read, tagged with kResyncBit. Sampling after the read is what
-// makes versions monotone per key: the executor publishes to the ring
-// after the map commit, so any write the resync read missed has a
-// sequence >= the sampled published(), and any write it observed has a
-// smaller one. A shard subscription cannot name "its" keys, so poll()
-// only reports `resynced` and jumps the cursor to published(); the caller
-// re-reads whatever map state it cares about (examples/kv_watch.cpp).
+// synthetic record stamped with the sample and kResyncBit. Sampling
+// BEFORE the map read is what makes the resync lossless: the executor
+// publishes to the ring after the map commit, so every commit with a
+// sequence below the sample happened-before the sample (release publish /
+// acquire published()) and is therefore visible to the later map read,
+// while every commit the read could still miss has sequence >= the sample
+// and is re-delivered from the ring as polling resumes. (Sampling after
+// the read looks tempting — the synthetic record would never be stale —
+// but it silently SKIPS any write that committed between the read and the
+// sample, breaking convergence.) The price is at-least-once: the map read
+// may already observe commits at or past the sample, which the following
+// ring records then repeat — versions stay monotone (the first repeated
+// record carries exactly the sampled sequence), and the repeats re-walk
+// the commit order the resync jumped over, which FeedChecker permits
+// after a resync record. A shard subscription cannot name "its" keys, so
+// poll() only reports `resynced` and jumps the cursor to published(); the
+// caller re-reads whatever map state it cares about after the poll
+// returns (examples/kv_watch.cpp), the same sample-first order.
 //
 // Subscriber slots are DynamicRegistry leases gated by an explicit count
 // (the registry asserts past its ceiling rather than failing, so the gate
@@ -155,11 +166,13 @@ class ChangeFeed {
         res.resynced = true;
         stats::count(stats::Id::kFeedResync, 1, this);
         if (sub.filter == Filter::kKey) {
-          // Map read FIRST, published() sample SECOND: see file comment
-          // for why this order keeps per-key versions monotone.
+          // published() sample FIRST, map read SECOND: any commit the
+          // read misses has seq >= ver and is re-delivered from the
+          // ring; see the file comment for why the reverse order loses
+          // writes.
+          const std::uint64_t ver = ring.published();
           rec.key = sub.key;
           rec.value = resync(sub.key);
-          const std::uint64_t ver = ring.published();
           rec.version = ver | kResyncBit;
           sub.cursor = ver;
           out[res.delivered++] = rec;

@@ -196,6 +196,11 @@ class KvService {
       for (unsigned q = 0; q < cfg_.queues; ++q) {
         queue_claims_[q].store(false, std::memory_order_relaxed);
       }
+      sub_tokens_ = std::make_unique<std::atomic<std::uint64_t>[]>(
+          cfg_.feed_max_subscribers);
+      for (unsigned i = 0; i < cfg_.feed_max_subscribers; ++i) {
+        sub_tokens_[i].store(0, std::memory_order_relaxed);
+      }
     }
     sessions_.reserve(cfg_.max_sessions);
     for (unsigned i = 0; i < cfg_.max_sessions; ++i) {
@@ -369,9 +374,10 @@ class KvService {
 
   // ----- Feed client API (feed mode; see src/feed/feed.hpp) ----------------
   //
-  // Submit side reuses submit(): kSubscribe with (key, 0) / (shard, 1),
-  // kUnsubscribe with (id), kPoll with (id, max_records). poll_feed
-  // decodes a kPoll completion.
+  // Submit side reuses submit(): kSubscribe with (key, 0) / (shard, 1)
+  // completes with the subscription token in resp_value; kUnsubscribe
+  // with (token), kPoll with (token, max_records). poll_feed decodes a
+  // kPoll completion.
 
   // Flag bits packed next to the record count in a kPoll resp_value.
   static constexpr std::uint64_t kPollOverrun = std::uint64_t{1} << 8;
@@ -386,7 +392,10 @@ class KvService {
 
   // Non-blocking completion check for a kPoll ticket: copies up to `max`
   // delivered records into `out` and consumes the ticket. nullopt while
-  // the request is still in flight.
+  // the request is still in flight. `delivered` reports only what was
+  // copied: a `max` smaller than the kPoll's max_records truncates the
+  // delivery, and the truncated records are gone (the executor already
+  // advanced the cursor past them) — size `out` to the kPoll request.
   std::optional<FeedDelivery> poll_feed(ClientCtx& c, const Ticket& t,
                                         feed::Record* out, unsigned max) {
     SessionState& ss = *sessions_[c.sid_];
@@ -398,10 +407,10 @@ class KvService {
     FeedDelivery d;
     d.status = ts.resp_status;
     if (d.status == Status::kOk) {
-      d.delivered = static_cast<unsigned>(ts.resp_value & 0xff);
+      d.delivered = std::min(static_cast<unsigned>(ts.resp_value & 0xff), max);
       d.overrun = (ts.resp_value & kPollOverrun) != 0;
       d.resynced = (ts.resp_value & kPollResynced) != 0;
-      for (unsigned i = 0; i < d.delivered && i < max; ++i) {
+      for (unsigned i = 0; i < d.delivered; ++i) {
         out[i] = feed::Record{ts.keys[i], ts.args[i], ts.exps[i]};
       }
     }
@@ -697,8 +706,18 @@ class KvService {
   // Feed verbs run executor-side, which keeps the admission path free of
   // registration: a shed request (EBUSY at submit) provably never touched
   // a subscription lease. kSubscribe routes by the watched key, kPoll and
-  // kUnsubscribe by the subscription id — so all polls of one
-  // subscription land on one queue and the claim serializes its cursor.
+  // kUnsubscribe by the subscription token — constant per subscription, so
+  // all polls of one subscription land on one queue and the claim
+  // serializes its cursor (and, with the token check below, every verb
+  // that could free or reuse this subscription's slot).
+  //
+  // The executor does NOT trust a client-supplied token: kSubscribe hands
+  // out an opaque generation-stamped token rather than the raw registry
+  // slot, and kPoll/kUnsubscribe validate it against the slot's live
+  // token first. A never-issued, stale, or double-freed token completes
+  // kNotFound instead of underflowing the lease gate (unsigned wrap would
+  // shed every future subscribe), over-freeing the registry, or polling a
+  // reused slot's cursor.
   void execute_feed(WorkerCtx& w, TicketSlot& ts, Response& r) {
     if (feed_ == nullptr) {
       r.status = Status::kOverload;  // feed verbs need Config::feed
@@ -713,21 +732,43 @@ class KvService {
         const auto id =
             shard_filter ? feed_->subscribe(feed::Filter::kShard, shard)
                          : feed_->subscribe(feed::Filter::kKey, shard, ts.key);
-        r.status = id.has_value() ? Status::kOk : Status::kOverload;
-        r.value = id.value_or(0);
+        if (!id.has_value()) {
+          r.status = Status::kOverload;
+          r.value = 0;
+          break;
+        }
+        const std::uint64_t token = make_sub_token(*id);
+        sub_tokens_[*id].store(token, std::memory_order_release);
+        r.status = Status::kOk;
+        r.value = token;
         break;
       }
-      case Op::kUnsubscribe:
-        feed_->unsubscribe(static_cast<std::uint32_t>(ts.key));
+      case Op::kUnsubscribe: {
+        const auto id = check_sub_token(ts.key);
+        if (!id.has_value()) {
+          r.status = Status::kNotFound;  // no such (live) subscription
+          break;
+        }
+        // Invalidate before releasing the lease: every verb carrying this
+        // token routes to this queue, so the claim keeps a concurrent
+        // poll from slipping between the two stores, and a second
+        // unsubscribe of the same token fails the check above.
+        sub_tokens_[*id].store(0, std::memory_order_release);
+        feed_->unsubscribe(*id);
         r.status = Status::kOk;
         break;
+      }
       case Op::kPoll: {
-        const auto id = static_cast<std::uint32_t>(ts.key);
+        const auto id = check_sub_token(ts.key);
+        if (!id.has_value()) {
+          r.status = Status::kNotFound;  // no such (live) subscription
+          break;
+        }
         const unsigned max = static_cast<unsigned>(std::min<std::uint64_t>(
             ts.value == 0 ? kMaxTxnKeys : ts.value, kMaxTxnKeys));
         feed::Record recs[kMaxTxnKeys];
         const feed::PollResult pr =
-            feed_->poll(id, recs, max, [&](std::uint64_t key) {
+            feed_->poll(*id, recs, max, [&](std::uint64_t key) {
               const auto v = map_.find(w.mctx, key);
               return v.has_value() ? *v + 1 : 0;
             });
@@ -884,6 +925,34 @@ class KvService {
     return true;
   }
 
+  // Subscription tokens (feed mode): high half a generation drawn from
+  // sub_gen_, low half the registry slot + 1 — never 0, so 0 can mean
+  // "slot free". The generation makes a token unique across slot reuse
+  // (modulo 2^32 subscribes, far past any deployment's churn), so a
+  // stale token for a recycled slot mismatches instead of aliasing the
+  // new subscription.
+  std::uint64_t make_sub_token(std::uint32_t id) {
+    const std::uint64_t gen =
+        sub_gen_.fetch_add(1, std::memory_order_relaxed);
+    return ((gen & 0xffffffffu) << 32) | (id + 1);
+  }
+
+  // Decodes and validates a client-supplied token against the slot's live
+  // token; nullopt = not a live subscription. The acquire pairs with the
+  // release in kSubscribe, ordering the feed's subscription-slot writes
+  // before any use of the decoded id (the claim covers the same-queue
+  // verbs; this covers a forged token arriving on another queue, which
+  // must fail without touching feed state).
+  std::optional<std::uint32_t> check_sub_token(std::uint64_t token) const {
+    const std::uint64_t low = token & 0xffffffffu;
+    if (low == 0 || low > cfg_.feed_max_subscribers) return std::nullopt;
+    const auto id = static_cast<std::uint32_t>(low - 1);
+    if (sub_tokens_[id].load(std::memory_order_acquire) != token) {
+      return std::nullopt;
+    }
+    return id;
+  }
+
   // Feed-mode queue exclusivity: acquire on the winning exchange pairs
   // with the release store in release_queue, ordering the previous
   // holder's ring publishes and cursor updates before ours.
@@ -929,6 +998,10 @@ class KvService {
   // execution so each broadcast ring keeps a single writer; see pump().
   std::unique_ptr<Feed> feed_;
   std::unique_ptr<std::atomic<bool>[]> queue_claims_;
+  // Live subscription token per feed slot (0 = free) and the generation
+  // source behind make_sub_token; see execute_feed.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> sub_tokens_;
+  std::atomic<std::uint64_t> sub_gen_{1};
   ProcessRegistry session_reg_;
   // Membership leases for the elastic pool (2x ceiling: a retiree's lease
   // may overlap its replacement's). Never used by the stats layer, so the

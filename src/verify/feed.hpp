@@ -8,20 +8,26 @@
 // stream, is:
 //
 //  1. No invention: every delivered ring record carries a (key, value)
-//     pair the writer actually committed, and in commit order — the
-//     delivered values form a subsequence of the commit sequence. This is
-//     the property the planted SkipValidation bug breaks: a torn record
-//     pairs one commit's key with a later commit's value, which (with
-//     per-key-unique values, the trials' discipline) appears in no key's
-//     commit sequence.
+//     pair the writer actually committed, and the RING records form a
+//     strictly increasing subsequence of the commit sequence among
+//     themselves. This is the property the planted SkipValidation bug
+//     breaks: a torn record pairs one commit's key with a later commit's
+//     value, which (with per-key-unique values, the trials' discipline)
+//     appears in no key's commit sequence. Ring records are ordered only
+//     against each other, not against resync records: a resync samples
+//     published() before its map read (feed.hpp), so the read may observe
+//     commits the ring then re-delivers — the "at-least-once after
+//     resync" in the contract — and those repeats legitimately sit at or
+//     before the resync's commit position.
 //  2. Versions monotone: the masked versions never decrease per key, and
-//     strictly increase between ring records (each ring record has a
-//     distinct sequence number).
-//  3. Resync coherence: a resync record's value is a commit the writer
-//     could have been at — at or after the last delivered one (the
-//     ring-publish happens-before chain makes older map states impossible
-//     to read; see feed.hpp), or the initial absence when nothing was
-//     delivered yet.
+//     strictly increase between consecutive ring records (each ring
+//     record has a distinct sequence number; the first ring record after
+//     a resync may carry exactly the resync's sampled sequence).
+//  3. Resync coherence: a resync record's value is a commit at or after
+//     the FURTHEST commit position any earlier record (ring or resync)
+//     reached — the ring-publish happens-before chain plus the map's
+//     per-key write order make older map states impossible to read — or
+//     the initial absence when nothing was delivered yet.
 //  4. Convergence: after the writer quiesced and a final poll ran, the
 //     last delivered value per key equals the key's final map value.
 //
@@ -30,6 +36,7 @@
 // check() is single-threaded (run in the trial's post-join check phase).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <span>
@@ -64,26 +71,31 @@ class FeedChecker {
   // order. On failure fills `diag` and returns false.
   bool check_stream(std::span<const feed::Record> stream,
                     std::string* diag) const {
-    std::map<std::uint64_t, long> pos;        // last matched commit index
-    std::map<std::uint64_t, std::uint64_t> last_ver;
-    std::map<std::uint64_t, bool> last_was_resync;
+    struct KeyState {
+      long ring_pos = -1;  // last RING record's commit index
+      long max_pos = -1;   // furthest commit index any record reached
+      std::uint64_t last_ver = 0;
+      bool seen = false;
+      bool last_was_resync = false;
+    };
+    std::map<std::uint64_t, KeyState> st;
     for (std::size_t i = 0; i < stream.size(); ++i) {
       const feed::Record& r = stream[i];
       const bool resync = (r.version & feed::kResyncBit) != 0;
       const std::uint64_t ver = r.version & ~feed::kResyncBit;
-      const bool prev_resync = last_was_resync[r.key];
-      if (const auto it = last_ver.find(r.key); it != last_ver.end()) {
-        const bool strict = !resync && !prev_resync;
-        if (ver < it->second || (strict && ver == it->second)) {
+      KeyState& k = st[r.key];
+      if (k.seen) {
+        const bool strict = !resync && !k.last_was_resync;
+        if (ver < k.last_ver || (strict && ver == k.last_ver)) {
           return explain(diag, i, r, "version not monotone");
         }
       }
-      last_ver[r.key] = ver;
-      last_was_resync[r.key] = resync;
+      k.seen = true;
+      k.last_ver = ver;
+      k.last_was_resync = resync;
 
       const auto cit = committed_.find(r.key);
-      long& p = pos.try_emplace(r.key, -1).first->second;
-      if (resync && r.value == 0 && p < 0) {
+      if (resync && r.value == 0 && k.max_pos < 0) {
         continue;  // resync before any delivery observed initial absence
       }
       if (cit == committed_.end()) {
@@ -99,17 +111,25 @@ class FeedChecker {
       if (found < 0) {
         return explain(diag, i, r, "value never committed for this key");
       }
-      // A ring record normally advances strictly past the last position;
-      // two legal exceptions repeat it: a resync may re-read the value it
-      // (or a delivered record) already carried, and the FIRST ring
-      // record after a resync may re-deliver the commit the resync's map
-      // read had already jumped to — that's the "at-least-once after
-      // resync" in the contract, not a duplicate.
-      const bool repeat_ok = resync || prev_resync;
-      if (repeat_ok ? found < p : found <= p) {
-        return explain(diag, i, r, "value out of commit order");
+      if (resync) {
+        // Property 3: the map read happens after every earlier delivery's
+        // publish, so a resync can repeat the furthest position but never
+        // regress behind it.
+        if (found < k.max_pos) {
+          return explain(diag, i, r, "value out of commit order");
+        }
+      } else {
+        // Property 1: ring records advance strictly among THEMSELVES (the
+        // cursor only moves forward and per-key seq order is commit
+        // order). Against a preceding resync they may lag: the resync's
+        // map read can observe commits at or past its sampled cursor,
+        // which the ring then re-delivers ("at-least-once after resync").
+        if (found <= k.ring_pos) {
+          return explain(diag, i, r, "value out of commit order");
+        }
+        k.ring_pos = found;
       }
-      p = found;
+      k.max_pos = std::max(k.max_pos, found);
     }
     return true;
   }

@@ -232,7 +232,7 @@ TEST(ChangeFeed, KeyOverrunResyncsFromMap) {
   EXPECT_EQ(recs[0].value, 6u);
   EXPECT_TRUE(recs[0].version & feed::kResyncBit);
   EXPECT_EQ(recs[0].version & ~feed::kResyncBit, 6u)
-      << "resync version = published() sampled after the map read";
+      << "resync version = published() sampled before the map read";
 
   // Back in sync: the next commit arrives as a plain ring record.
   feed.publish(0, 7, 9);
@@ -380,6 +380,33 @@ TEST(FeedChecker, RejectsStaleResyncAndDivergence) {
       << "committed key with no delivery after the final drain";
 }
 
+// The resync samples published() before its map read (feed.hpp), so the
+// read may observe commits the ring then re-delivers: SEVERAL ring
+// records at or before the resync's commit position are legal, as long
+// as they advance in commit order among themselves.
+TEST(FeedChecker, AcceptsMultipleRedeliveriesAfterResync) {
+  FeedChecker ck;
+  ck.commit(1, 11);
+  ck.commit(1, 12);
+  ck.commit(1, 13);
+  ck.set_final(1, 13);
+  std::string diag;
+  // Resync jumped to 13 (map read raced ahead of the sampled cursor 1);
+  // the ring then re-walks commits 12 and 13 from the sample point.
+  const std::vector<feed::Record> redelivered = {
+      {1, 13, feed::kResyncBit | 1}, {1, 12, 1}, {1, 13, 2}};
+  EXPECT_TRUE(ck.check_stream(redelivered, &diag)) << diag;
+  EXPECT_TRUE(ck.check_converged(redelivered, &diag)) << diag;
+  // But re-delivered ring records still advance among themselves.
+  const std::vector<feed::Record> shuffled = {
+      {1, 13, feed::kResyncBit | 1}, {1, 13, 1}, {1, 12, 2}};
+  EXPECT_FALSE(ck.check_stream(shuffled, &diag));
+  // And a later resync can never regress behind the furthest position.
+  const std::vector<feed::Record> regressed = {
+      {1, 13, feed::kResyncBit | 1}, {1, 12, feed::kResyncBit | 2}};
+  EXPECT_FALSE(ck.check_stream(regressed, &diag));
+}
+
 // ---------------------------------------------------------------------
 // Service integration (manual pump, single thread).
 // ---------------------------------------------------------------------
@@ -511,6 +538,84 @@ TEST(KvServiceFeed, SubscribeShedsAtLeaseCeiling) {
   run(Op::kUnsubscribe, a.value);
   EXPECT_EQ(run(Op::kSubscribe, 2, 0).status, Status::kOk)
       << "ceiling reopens after unsubscribe";
+}
+
+// The executor must not trust client-supplied subscription tokens: a
+// forged or stale kPoll/kUnsubscribe completes kNotFound instead of
+// touching the lease gate (a double unsubscribe would underflow it and
+// shed every future subscribe) or another subscription's cursor.
+TEST(KvServiceFeed, RejectsForgedAndStaleSubscriptionTokens) {
+  Sub sub;
+  Svc svc(sub, feed_config(2));
+  auto c = svc.connect();
+  auto w = svc.make_worker_ctx();
+  auto run = [&](Op op, std::uint64_t k, std::uint64_t v = 0) {
+    const auto t = svc.submit(c, op, k, v);
+    EXPECT_TRUE(t.has_value());
+    svc.pump(w);
+    return *svc.poll(c, *t);
+  };
+
+  const auto s = run(Op::kSubscribe, 1, 0);
+  ASSERT_EQ(s.status, Status::kOk);
+  // Never-issued tokens, including the raw slot index a pre-token client
+  // might guess, are refused without touching the registry.
+  EXPECT_EQ(run(Op::kPoll, s.value + 1, 4).status, Status::kNotFound);
+  EXPECT_EQ(run(Op::kUnsubscribe, 0).status, Status::kNotFound);
+  EXPECT_EQ(run(Op::kUnsubscribe, ~std::uint64_t{0}).status,
+            Status::kNotFound);
+  EXPECT_EQ(svc.feed().active_subscribers(), 1u);
+
+  EXPECT_EQ(run(Op::kUnsubscribe, s.value).status, Status::kOk);
+  EXPECT_EQ(run(Op::kUnsubscribe, s.value).status, Status::kNotFound)
+      << "double unsubscribe must fail, not underflow the lease gate";
+  EXPECT_EQ(svc.feed().active_subscribers(), 0u);
+
+  // The gate survived: the ceiling still admits two fresh subscriptions,
+  // and a stale token does not alias the slot its lease recycled into.
+  const auto s2 = run(Op::kSubscribe, 2, 0);
+  const auto s3 = run(Op::kSubscribe, 3, 0);
+  ASSERT_EQ(s2.status, Status::kOk);
+  ASSERT_EQ(s3.status, Status::kOk);
+  EXPECT_NE(s2.value, s.value);
+  EXPECT_EQ(run(Op::kPoll, s.value, 4).status, Status::kNotFound)
+      << "stale token for a reused slot must not poll the new cursor";
+  run(Op::kUnsubscribe, s2.value);
+  run(Op::kUnsubscribe, s3.value);
+}
+
+// poll_feed reports only the records it copied: a caller buffer smaller
+// than the kPoll's max_records truncates the delivery and `delivered`
+// must say so (the executor already advanced the cursor, so the
+// truncated tail is lost — but never silently miscounted).
+TEST(KvServiceFeed, PollFeedClampsDeliveredToCallerBuffer) {
+  Sub sub;
+  Svc svc(sub, feed_config(2));
+  auto c = svc.connect();
+  auto w = svc.make_worker_ctx();
+  auto run = [&](Op op, std::uint64_t k, std::uint64_t v = 0) {
+    const auto t = svc.submit(c, op, k, v);
+    EXPECT_TRUE(t.has_value());
+    svc.pump(w);
+    return *svc.poll(c, *t);
+  };
+
+  const auto s = run(Op::kSubscribe, 5, 0);
+  ASSERT_EQ(s.status, Status::kOk);
+  for (std::uint64_t v = 1; v <= 3; ++v) run(Op::kUpsert, 5, v);
+
+  const auto tp = svc.submit(c, Op::kPoll, s.value, 8);
+  ASSERT_TRUE(tp.has_value());
+  svc.pump(w);
+  feed::Record recs[2];
+  const auto d = svc.poll_feed(c, *tp, recs, 2);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->status, Status::kOk);
+  EXPECT_EQ(d->delivered, 2u)
+      << "delivered must count copied records, not the executor's total";
+  EXPECT_EQ(recs[0].value, 2u);  // wire form: upsert 1 -> 2
+  EXPECT_EQ(recs[1].value, 3u);
+  run(Op::kUnsubscribe, s.value);
 }
 
 TEST(KvServiceFeed, FeedVerbsRequireFeedMode) {
@@ -657,14 +762,17 @@ struct KeyTrialShared {
 // Key-filter convergence: commits go to a model cell before the ring
 // (standing in for the map), the reader's resync reads the model, and
 // after the final drain the last delivered value must BE the model's.
-ScheduleExplorer::Trial make_key_trial() {
+// `ncommits` sizes the writer: 3 is the smallest lapping run, 4 is the
+// smallest that can interleave a commit INSIDE the resync (between the
+// reader's cursor sample and its model read) while the poll still has
+// ring records left to mis-skip — the schedule that distinguishes
+// sample-before-read from the lossy read-before-sample order.
+ScheduleExplorer::Trial make_key_trial(unsigned ncommits) {
   auto sh = std::make_shared<KeyTrialShared>();
   sh->id = *sh->feed.subscribe(feed::Filter::kKey, 0, 9);
   ScheduleExplorer::Trial trial;
-  trial.bodies.push_back([sh] {
-    sh->commit(11);
-    sh->commit(12);
-    sh->commit(13);
+  trial.bodies.push_back([sh, ncommits] {
+    for (unsigned c = 0; c < ncommits; ++c) sh->commit(11 + c);
   });
   trial.bodies.push_back([sh] {
     feed::Record buf[2];
@@ -674,7 +782,7 @@ ScheduleExplorer::Trial make_key_trial() {
         });
     for (unsigned i = 0; i < pr.delivered; ++i) sh->log.push_back(buf[i]);
   });
-  trial.check = [sh] {
+  trial.check = [sh, ncommits] {
     feed::Record buf[4];
     for (;;) {
       const auto pr = sh->feed.poll(sh->id, buf, 4, [sh](std::uint64_t) {
@@ -684,10 +792,8 @@ ScheduleExplorer::Trial make_key_trial() {
       if (pr.delivered == 0 && !pr.resynced) break;
     }
     FeedChecker ck;
-    ck.commit(9, 11);
-    ck.commit(9, 12);
-    ck.commit(9, 13);
-    ck.set_final(9, 13);
+    for (unsigned c = 0; c < ncommits; ++c) ck.commit(9, 11 + c);
+    ck.set_final(9, 10 + ncommits);
     std::string diag;
     const bool ok =
         ck.check_stream(sh->log, &diag) && ck.check_converged(sh->log, &diag);
@@ -709,8 +815,26 @@ TEST(FeedExplore, DfsShardCoherenceExhaustive) {
 
 TEST(FeedExplore, DfsKeyConvergenceExhaustive) {
   const auto r = ScheduleExplorer::explore(
-      make_key_trial,
+      [] { return make_key_trial(3); },
       testing::ExploreOptions{.max_trials = 400000, .sleep_sets = true});
+  EXPECT_TRUE(r.exhausted) << "trials=" << r.trials;
+  EXPECT_FALSE(r.violation_found)
+      << "non-convergent key subscription under schedule "
+      << r.schedule_string();
+  EXPECT_GT(r.trials, 10u);
+}
+
+// Four commits through the 2-slot ring: with three, the overrun that
+// triggers a resync already requires every publish to have completed, so
+// the model is final before any resync runs and the resync's internal
+// ordering is unobservable. The fourth commit opens the window — a
+// commit can land between the resync's published() sample and its model
+// read (or, in the buggy read-then-sample order, between the read and
+// the sample, where it was skipped forever).
+TEST(FeedExplore, DfsKeyConvergenceExhaustiveFourCommits) {
+  const auto r = ScheduleExplorer::explore(
+      [] { return make_key_trial(4); },
+      testing::ExploreOptions{.max_trials = 2000000, .sleep_sets = true});
   EXPECT_TRUE(r.exhausted) << "trials=" << r.trials;
   EXPECT_FALSE(r.violation_found)
       << "non-convergent key subscription under schedule "
@@ -728,7 +852,8 @@ TEST(PctSmoke, FeedCoherence) {
   EXPECT_EQ(r.trials, opts.runs);
   EXPECT_FALSE(r.violation_found)
       << "incoherent feed stream under schedule " << r.schedule_string();
-  const auto r2 = ScheduleExplorer::pct_explore(make_key_trial, opts);
+  const auto r2 = ScheduleExplorer::pct_explore(
+      [] { return make_key_trial(4); }, opts);
   EXPECT_FALSE(r2.violation_found)
       << "non-convergent key subscription under schedule "
       << r2.schedule_string();
